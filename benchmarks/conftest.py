@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md for the experiment index).  Benchmarks print the
+same rows/series the paper reports — absolute numbers differ because the
+substrate is a simulation, but the *shape* (who wins, by roughly what factor)
+is asserted where the paper makes a quantitative claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_block(title: str, body: str) -> None:
+    """Print a clearly delimited block so bench output is easy to scan."""
+    line = "=" * max(len(title), 20)
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def simulated_study():
+    """One shared simulated study run for all study benchmarks."""
+    from repro.study import simulate_study
+
+    return simulate_study()
+
+
+@pytest.fixture(scope="session")
+def study_exclusion(simulated_study):
+    from repro.study import apply_exclusion
+
+    return apply_exclusion(simulated_study)
+
+
+@pytest.fixture(scope="session")
+def legitimate_study_responses(simulated_study, study_exclusion):
+    from repro.study import legitimate_responses
+
+    return legitimate_responses(simulated_study, study_exclusion)

@@ -1,0 +1,92 @@
+"""Experiment sec4.8: visual vs textual complexity of Q_some / Q_only.
+
+The paper states that Q_only's SQL text has about 167 % more words than
+Q_some's, while its diagram has only about 13 % more visual elements
+(7 % with the ∀ simplification).  The word-count ratio depends on how words
+are counted (our canonical formatting yields a smaller but still large gap),
+so the assertion is on the *shape*: SQL text grows several times faster than
+the diagram.  The exact measured numbers are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import queryvis
+from repro.diagram import diagram_metrics
+from repro.diagram.metrics import relative_increase
+from repro.paper_queries import Q_ONLY_SQL, Q_SOME_SQL
+from repro.sql import parse, text_metrics
+
+from benchmarks.conftest import print_block
+
+
+def test_sec48_visual_vs_textual_complexity(benchmark):
+    q_some = parse(Q_SOME_SQL)
+    q_only = parse(Q_ONLY_SQL)
+
+    def measure():
+        return {
+            "words_some": text_metrics(q_some).word_count,
+            "words_only": text_metrics(q_only).word_count,
+            "tokens_some": text_metrics(q_some).token_count,
+            "tokens_only": text_metrics(q_only).token_count,
+            "elements_some": diagram_metrics(queryvis(q_some)).element_count,
+            "elements_only_plain": diagram_metrics(
+                queryvis(q_only, simplify=False)
+            ).element_count,
+            "elements_only_forall": diagram_metrics(
+                queryvis(q_only, simplify=True)
+            ).element_count,
+        }
+
+    counts = benchmark(measure)
+    word_increase = counts["words_only"] / counts["words_some"] - 1
+    plain_increase = counts["elements_only_plain"] / counts["elements_some"] - 1
+    forall_increase = counts["elements_only_forall"] / counts["elements_some"] - 1
+
+    # Paper: +167 % words vs +13 % / +7 % visual elements.
+    assert plain_increase == pytest.approx(0.133, abs=0.02)
+    assert forall_increase == pytest.approx(0.067, abs=0.02)
+    assert word_increase > 3 * plain_increase
+
+    rows = [
+        f"{'measure':<34}{'Q_some':>8}{'Q_only':>8}{'increase':>10}",
+        f"{'SQL words':<34}{counts['words_some']:>8}{counts['words_only']:>8}"
+        f"{word_increase:>+10.0%}",
+        f"{'SQL tokens':<34}{counts['tokens_some']:>8}{counts['tokens_only']:>8}"
+        f"{counts['tokens_only'] / counts['tokens_some'] - 1:>+10.0%}",
+        f"{'diagram elements (∄∄ form)':<34}{counts['elements_some']:>8}"
+        f"{counts['elements_only_plain']:>8}{plain_increase:>+10.0%}",
+        f"{'diagram elements (∀ form)':<34}{counts['elements_some']:>8}"
+        f"{counts['elements_only_forall']:>8}{forall_increase:>+10.0%}",
+        "",
+        "paper reports: +167 % words, +13 % elements (∄∄), +7 % elements (∀)",
+    ]
+    print_block("§4.8 — visual vs textual complexity", "\n".join(rows))
+
+
+def test_sec48_ablation_forall_simplification(benchmark):
+    """Ablation: how much 'ink' the ∀ simplification saves across the stimuli."""
+    from repro.study import study_schema, test_questions
+
+    schema = study_schema()
+    nested = [q for q in test_questions() if q.question_id in ("Q10", "Q11", "Q12")]
+
+    def measure():
+        savings = {}
+        for question in nested:
+            plain = diagram_metrics(queryvis(question.sql, schema=schema, simplify=False))
+            simplified = diagram_metrics(queryvis(question.sql, schema=schema, simplify=True))
+            savings[question.question_id] = (
+                plain.element_count,
+                simplified.element_count,
+            )
+        return savings
+
+    savings = benchmark(measure)
+    rows = [f"{'query':<8}{'∄∄ form':>10}{'∀ form':>10}" ]
+    for question_id, (plain, simplified) in savings.items():
+        rows.append(f"{question_id:<8}{plain:>10}{simplified:>10}")
+        assert simplified <= plain
+    print_block("§4.8 ablation — element counts with/without ∀", "\n".join(rows))

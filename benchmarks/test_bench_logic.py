@@ -1,0 +1,59 @@
+"""Experiment fig5-10: Logic Tree and TRC representations of the unique-set query.
+
+Regenerates Fig. 5 (the Logic Tree), Fig. 9a/9b (the TRC expression before and
+after simplification) and Fig. 10a/10b (the simplified Logic Tree), asserting
+the quantifier structure the paper shows, and benchmarks translation +
+simplification.
+"""
+
+from __future__ import annotations
+
+from repro.logic import (
+    Quantifier,
+    logic_tree_to_trc,
+    simplify_logic_tree,
+    sql_to_logic_tree,
+)
+from repro.paper_queries import UNIQUE_SET_SQL
+from repro.sql import parse
+
+from benchmarks.conftest import print_block
+
+
+def test_fig5_and_fig10_logic_trees(benchmark):
+    """Figs. 5/10: Logic Trees of the unique-set query (plain and simplified)."""
+    query = parse(UNIQUE_SET_SQL)
+
+    def translate_and_simplify():
+        tree = sql_to_logic_tree(query)
+        return tree, simplify_logic_tree(tree)
+
+    plain, simplified = benchmark(translate_and_simplify)
+    assert plain.node_count() == 6 and plain.depth() == 3
+    plain_quantifiers = [node.quantifier for node in plain.iter_nodes()]
+    assert plain_quantifiers.count(Quantifier.NOT_EXISTS) == 5
+    simplified_quantifiers = [node.quantifier for node in simplified.iter_nodes()]
+    assert simplified_quantifiers.count(Quantifier.FOR_ALL) == 2
+    assert simplified_quantifiers.count(Quantifier.EXISTS) == 2
+    body = (
+        "Fig. 5 / Fig. 10a (plain):\n"
+        + plain.describe()
+        + "\n\nFig. 10b (simplified):\n"
+        + simplified.describe()
+    )
+    print_block("Figs. 5/10 — Logic Trees of the unique-set query", body)
+
+
+def test_fig9_trc_expressions(benchmark):
+    """Fig. 9: TRC expressions before and after the ∀ simplification."""
+    query = parse(UNIQUE_SET_SQL)
+
+    def render_both():
+        tree = sql_to_logic_tree(query)
+        return logic_tree_to_trc(tree), logic_tree_to_trc(simplify_logic_tree(tree))
+
+    plain, simplified = benchmark(render_both)
+    assert plain.text.count("∄") == 5 and plain.text.count("∃") == 1
+    assert simplified.text.count("∀") == 2 and simplified.text.count("∄") == 1
+    body = f"Fig. 9a: {plain.text}\n\nFig. 9b: {simplified.text}"
+    print_block("Fig. 9 — TRC of the unique-set query", body)

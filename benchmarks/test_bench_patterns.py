@@ -1,0 +1,83 @@
+"""Experiment fig23-26: logical patterns across schemas and syntactic variants.
+
+Regenerates the Appendix G galleries: the no / only / all patterns over the
+sailors, students and actors schemas produce identical diagram signatures
+row-by-row (Figs. 25/26) while differing column-by-column (Fig. 23), and the
+three syntactic variants of "only red boats" (Fig. 24) produce one and the
+same Logic Tree and diagram.
+"""
+
+from __future__ import annotations
+
+from repro import queryvis
+from repro.diagram import pattern_signature, same_pattern
+from repro.logic import sql_to_logic_tree
+from repro.paper_queries import FIG24_VARIANTS, PATTERN_SCHEMAS, pattern_query
+from repro.sql import parse
+
+from benchmarks.conftest import print_block
+
+
+def test_fig25_26_patterns_across_schemas(benchmark):
+    """Figs. 25/26: the same pattern gives the same diagram on every schema."""
+
+    def build_signatures():
+        table = {}
+        for kind in ("no", "only", "all"):
+            table[kind] = {
+                schema: pattern_signature(queryvis(pattern_query(kind, schema))).digest
+                for schema in PATTERN_SCHEMAS
+            }
+        return table
+
+    table = benchmark(build_signatures)
+    rows = [f"{'pattern':<8}" + "".join(f"{schema:>20}" for schema in PATTERN_SCHEMAS)]
+    for kind, per_schema in table.items():
+        rows.append(f"{kind:<8}" + "".join(f"{d:>20}" for d in per_schema.values()))
+        assert len(set(per_schema.values())) == 1  # identical across schemas
+    digests = {next(iter(per_schema.values())) for per_schema in table.values()}
+    assert len(digests) == 3  # the three patterns stay mutually distinct
+    print_block("Figs. 25/26 — pattern signatures across schemas", "\n".join(rows))
+
+
+def test_fig24_syntactic_variants_collapse(benchmark):
+    """Fig. 24: NOT EXISTS / NOT IN / NOT ANY spellings give one diagram."""
+
+    def build_all():
+        diagrams = [queryvis(sql) for sql in FIG24_VARIANTS]
+        trees = [sql_to_logic_tree(parse(sql)) for sql in FIG24_VARIANTS]
+        return diagrams, trees
+
+    diagrams, trees = benchmark(build_all)
+    assert all(same_pattern(diagrams[0], other) for other in diagrams[1:])
+    shapes = [
+        [
+            (node.quantifier, tuple(sorted(t.name for t in node.tables)))
+            for node, _ in tree.iter_with_depth()
+        ]
+        for tree in trees
+    ]
+    assert shapes[0] == shapes[1] == shapes[2]
+    print_block(
+        "Fig. 24 — syntactic variants",
+        "All three spellings of 'sailors who reserve only red boats' map to the "
+        f"same diagram: {pattern_signature(diagrams[0]).digest}",
+    )
+
+
+def test_fig23_patterns_differ_within_a_schema(benchmark):
+    """Fig. 23: no / only / all on one schema are three different diagrams."""
+
+    def build():
+        return {
+            kind: queryvis(pattern_query(kind, "sailors")) for kind in ("no", "only", "all")
+        }
+
+    diagrams = benchmark(build)
+    assert not same_pattern(diagrams["no"], diagrams["only"])
+    assert not same_pattern(diagrams["only"], diagrams["all"])
+    assert not same_pattern(diagrams["no"], diagrams["all"])
+    summary = "\n".join(
+        f"{kind:<6} {pattern_signature(diagram).digest}" for kind, diagram in diagrams.items()
+    )
+    print_block("Fig. 23 — three distinct patterns on the sailors schema", summary)

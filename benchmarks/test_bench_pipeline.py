@@ -1,0 +1,78 @@
+"""Experiments fig1, fig2-3 and fig12: the paper's running-example diagrams.
+
+Regenerates the diagrams of Fig. 1b (unique-set query), Figs. 2a–2c
+(Q_some / Q_only with and without the ∀ simplification) and Fig. 12
+(unique-set diagrams from the plain and the simplified Logic Tree), asserting
+the structural facts the paper states about them, and benchmarks the
+construction pipeline.
+"""
+
+from __future__ import annotations
+
+from repro import queryvis
+from repro.diagram import BoxStyle, diagram_metrics, validate_diagram
+from repro.render import diagram_to_text
+from repro.sql import parse
+
+from repro.paper_queries import Q_ONLY_SQL, Q_SOME_SQL, UNIQUE_SET_SQL
+
+from benchmarks.conftest import print_block
+
+
+def test_fig1_unique_set_diagram(benchmark):
+    """Fig. 1b: the unique-set query as a QueryVis diagram."""
+    query = parse(UNIQUE_SET_SQL)
+    diagram = benchmark(lambda: queryvis(query, simplify=False))
+    validate_diagram(diagram)
+    metrics = diagram_metrics(diagram)
+    # 6 Likes tables + SELECT box, 5 ∄ boxes, 7 join edges + 1 select edge.
+    assert metrics.table_count == 7
+    assert metrics.box_count == 5
+    assert metrics.edge_count == 8
+    assert diagram.reading_order()[1:] == ["L1", "L2", "L3", "L4", "L5", "L6"]
+    print_block("Fig. 1b — unique-set query diagram", diagram_to_text(diagram))
+
+
+def test_fig2_qsome_qonly(benchmark):
+    """Figs. 2a–2c: conjunctive vs nested diagrams, with/without ∀."""
+
+    def build_all():
+        return (
+            queryvis(Q_SOME_SQL),
+            queryvis(Q_ONLY_SQL, simplify=False),
+            queryvis(Q_ONLY_SQL, simplify=True),
+        )
+
+    q_some, q_only_plain, q_only_forall = benchmark(build_all)
+    assert len(q_some.boxes) == 0
+    assert [b.style for b in q_only_plain.boxes] == [BoxStyle.NOT_EXISTS] * 2
+    assert [b.style for b in q_only_forall.boxes] == [BoxStyle.FOR_ALL]
+    rows = [
+        f"Fig. 2a (Q_some):        {diagram_metrics(q_some).element_count} visual elements",
+        f"Fig. 2b (Q_only, ∄∄):    {diagram_metrics(q_only_plain).element_count} visual elements",
+        f"Fig. 2c (Q_only, ∀):     {diagram_metrics(q_only_forall).element_count} visual elements",
+    ]
+    print_block("Figs. 2a–2c — Q_some / Q_only diagrams", "\n".join(rows))
+
+
+def test_fig12_diagram_variants(benchmark):
+    """Fig. 12: unique-set diagram from the plain vs the simplified LT."""
+
+    def build_both():
+        return (
+            queryvis(UNIQUE_SET_SQL, simplify=False),
+            queryvis(UNIQUE_SET_SQL, simplify=True),
+        )
+
+    plain, simplified = benchmark(build_both)
+    plain_styles = sorted(box.style.value for box in plain.boxes)
+    simplified_styles = sorted(box.style.value for box in simplified.boxes)
+    assert plain_styles == ["dashed"] * 5
+    assert simplified_styles == ["dashed", "double", "double"]
+    body = (
+        f"Fig. 12a boxes: {plain_styles}\n"
+        f"Fig. 12b boxes: {simplified_styles}\n"
+        "Same tables, edges and reading order in both variants: "
+        f"{plain.reading_order() == simplified.reading_order()}"
+    )
+    print_block("Fig. 12 — unique-set diagram, plain vs simplified LT", body)

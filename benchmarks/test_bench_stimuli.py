@@ -1,0 +1,68 @@
+"""Experiment appD-F: the 18 study stimuli parse, translate and render.
+
+Regenerates the per-question diagram inventory over the Chinook schema —
+the artefact shown to participants in the QV and Both conditions — and
+benchmarks the end-to-end stimulus preparation (parse → Logic Tree →
+diagram → DOT + SVG) that a study designer would run.
+"""
+
+from __future__ import annotations
+
+from repro import queryvis
+from repro.diagram import diagram_metrics, validate_diagram
+from repro.render import diagram_to_dot, diagram_to_svg
+from repro.study import qualification_questions, study_schema
+from repro.study import test_questions as study_questions
+
+from benchmarks.conftest import print_block
+
+
+def test_appf_test_question_diagrams(benchmark):
+    """Appendix F: the 12 test-question diagrams."""
+    schema = study_schema()
+    questions = study_questions()
+
+    def build_all():
+        return {q.question_id: queryvis(q.sql, schema=schema) for q in questions}
+
+    diagrams = benchmark(build_all)
+    rows = [f"{'id':<5}{'category':<12}{'tables':>7}{'edges':>7}{'boxes':>7}{'elements':>9}"]
+    for question in questions:
+        diagram = diagrams[question.question_id]
+        validate_diagram(diagram)
+        metrics = diagram_metrics(diagram)
+        rows.append(
+            f"{question.question_id:<5}{question.category.value:<12}"
+            f"{len(diagram.data_tables()):>7}{len(diagram.edges):>7}"
+            f"{len(diagram.boxes):>7}{metrics.element_count:>9}"
+        )
+    nested_boxes = sum(len(diagrams[q].boxes) for q in ("Q10", "Q11", "Q12"))
+    assert nested_boxes >= 4  # the nested category carries the quantifier boxes
+    assert all(len(diagrams[q].boxes) == 0 for q in ("Q1", "Q2", "Q3"))
+    print_block("Appendix F — the 12 test-question diagrams", "\n".join(rows))
+
+
+def test_appd_qualification_diagrams(benchmark):
+    """Appendix D: the 6 qualification-exam diagrams."""
+    schema = study_schema()
+    questions = qualification_questions()
+
+    def build_and_render():
+        sizes = {}
+        for question in questions:
+            diagram = queryvis(question.sql, schema=schema)
+            sizes[question.question_id] = (
+                diagram_metrics(diagram).element_count,
+                len(diagram_to_dot(diagram)),
+                len(diagram_to_svg(diagram)),
+            )
+        return sizes
+
+    sizes = benchmark(build_and_render)
+    rows = [f"{'id':<6}{'elements':>9}{'DOT bytes':>11}{'SVG bytes':>11}"]
+    rows += [
+        f"{question_id:<6}{elements:>9}{dot_bytes:>11}{svg_bytes:>11}"
+        for question_id, (elements, dot_bytes, svg_bytes) in sizes.items()
+    ]
+    assert len(sizes) == 6
+    print_block("Appendix D — qualification-exam diagrams", "\n".join(rows))

@@ -1,0 +1,125 @@
+"""Experiments fig7, fig18, fig19, fig20, fig21: the user-study results.
+
+Regenerates the paper's evaluation figures from the simulated participant
+population (the substitution for AMT workers, see DESIGN.md):
+
+* Fig. 18 — worker exclusion (80 started, 38 excluded, 42 legitimate);
+* Fig. 7  — per-condition median time / mean error, deltas and adjusted
+            p-values on the 9 non-GROUP BY questions;
+* Fig. 19 — the same analysis on all 12 questions;
+* Figs. 20/21 — per-participant QV−SQL differences.
+
+The assertions encode the paper's qualitative claims (QV meaningfully faster
+with p < 0.001, Both ≈ SQL on time, error reductions with weak evidence, a
+clear majority of participants faster with QV).
+"""
+
+from __future__ import annotations
+
+from repro.study import (
+    Condition,
+    analyze_study,
+    format_fig7,
+    format_fig18,
+    format_participant_deltas,
+    questions_without_grouping,
+)
+
+from benchmarks.conftest import print_block
+
+
+def _nine_question_responses(responses):
+    nine_ids = {q.question_id for q in questions_without_grouping()}
+    return [r for r in responses if r.question_id in nine_ids]
+
+
+def test_fig18_exclusion(benchmark, simulated_study):
+    """Fig. 18: speeders/cheaters exclusion."""
+    from repro.study import apply_exclusion, exclusion_accuracy
+
+    report = benchmark(lambda: apply_exclusion(simulated_study))
+    assert report.n_total == 80
+    assert report.n_excluded == 38
+    assert report.n_legitimate == 42
+    assert exclusion_accuracy(simulated_study, report) == 1.0
+    body = "\n".join(format_fig18(report).splitlines()[:6])
+    print_block("Fig. 18 — exclusion of speeders and cheaters", body)
+
+
+def test_fig7_main_results(benchmark, legitimate_study_responses):
+    """Fig. 7: the headline time/error results on 9 questions."""
+    responses = _nine_question_responses(legitimate_study_responses)
+    results = benchmark(lambda: analyze_study(responses, n_bootstrap=1000))
+
+    time_qv = results.comparison("time", Condition.QV)
+    time_both = results.comparison("time", Condition.BOTH)
+    error_qv = results.comparison("error", Condition.QV)
+    error_both = results.comparison("error", Condition.BOTH)
+
+    # Paper: -20 % (p < 0.001), -1 % (p = 0.30), -21 % (p = 0.15), -17 % (p = 0.16).
+    assert -0.35 < time_qv.percent_change < -0.10
+    assert time_qv.p_value_adjusted < 0.001
+    assert abs(time_both.percent_change) < 0.10
+    assert time_both.p_value_adjusted > 0.05
+    assert error_qv.percent_change < -0.05
+    assert error_both.percent_change < -0.05
+    assert error_qv.p_value_adjusted > 0.01
+
+    print_block("Fig. 7 — main study results (9 questions)", format_fig7(results))
+
+
+def test_fig19_twelve_questions(benchmark, legitimate_study_responses):
+    """Fig. 19: the same analysis including the three GROUP BY questions."""
+    results = benchmark(lambda: analyze_study(legitimate_study_responses, n_bootstrap=1000))
+    time_qv = results.comparison("time", Condition.QV)
+    assert time_qv.percent_change < -0.10
+    assert time_qv.p_value_adjusted < 0.001
+    print_block(
+        "Fig. 19 — all 12 questions (incl. GROUP BY)",
+        format_fig7(results, title="Fig. 19 — all 12 questions"),
+    )
+
+
+def test_fig20_participant_deltas(benchmark, legitimate_study_responses):
+    """Fig. 20: per-participant QV − SQL differences (9 questions)."""
+    responses = _nine_question_responses(legitimate_study_responses)
+    results = benchmark(lambda: analyze_study(responses, n_bootstrap=200))
+    time_qv = results.comparison("time", Condition.QV)
+    error_qv = results.comparison("error", Condition.QV)
+    # Paper: 71 % of participants faster with QV; mean Δ ≈ -17 s; more
+    # participants with fewer errors than with more errors under QV.
+    assert time_qv.fraction_improved > 0.6
+    assert time_qv.mean_difference < -5
+    assert error_qv.fraction_improved >= error_qv.fraction_worse
+    print_block(
+        "Fig. 20 — per-participant differences (9 questions)",
+        format_participant_deltas(results),
+    )
+
+
+def test_fig21_participant_deltas_12q(benchmark, legitimate_study_responses):
+    """Fig. 21: per-participant QV − SQL differences (all 12 questions)."""
+    results = benchmark(lambda: analyze_study(legitimate_study_responses, n_bootstrap=200))
+    time_qv = results.comparison("time", Condition.QV)
+    assert time_qv.fraction_improved > 0.6
+    print_block(
+        "Fig. 21 — per-participant differences (12 questions)",
+        format_participant_deltas(
+            results, title="Fig. 21 — per-participant QV−SQL differences (12 questions)"
+        ),
+    )
+
+
+def test_fig18_ablation_exclusion_threshold(benchmark, simulated_study):
+    """Ablation: sensitivity of the exclusion outcome to the 30 s threshold."""
+    from repro.study import apply_exclusion
+
+    thresholds = (20.0, 30.0, 40.0, 50.0)
+
+    def sweep():
+        return {t: apply_exclusion(simulated_study, threshold_seconds=t).n_legitimate for t in thresholds}
+
+    kept = benchmark(sweep)
+    assert kept[20.0] >= kept[30.0] >= kept[40.0] >= kept[50.0]
+    rows = [f"threshold {t:>4.0f} s  ->  {n} legitimate participants" for t, n in kept.items()]
+    print_block("Fig. 18 ablation — exclusion threshold sweep", "\n".join(rows))

@@ -1,0 +1,84 @@
+"""Experiment perf: pipeline throughput on generated workloads.
+
+Not a paper figure — the paper's system ran interactively on single queries —
+but the harness reports how fast the reproduction handles batches of queries:
+parsing, translation, diagram construction, recovery and rendering, plus the
+relational-engine cross-check used throughout the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import sailors_schema
+from repro.diagram import build_diagram, recover_logic_tree
+from repro.logic import evaluate_logic_tree, simplify_logic_tree, sql_to_logic_tree
+from repro.relational import execute
+from repro.render import diagram_to_dot, diagram_to_svg
+from repro.sql import format_query, parse
+from repro.workloads import QueryGenConfig, QueryGenerator, sailors_database
+
+# Single-table blocks keep the reference executor's nested-loop evaluation
+# tractable for the cross-check benchmark; diagrams still cover nesting.
+_GENERATOR = QueryGenerator(
+    sailors_schema(), QueryGenConfig(max_depth=2, max_tables_per_block=1)
+)
+_QUERIES = [_GENERATOR.generate(seed) for seed in range(50)]
+_SQL_TEXTS = [format_query(query) for query in _QUERIES]
+_DATABASE = sailors_database(n_sailors=4, n_boats=3, n_reservations=8, seed=2)
+
+
+def test_perf_parse_throughput(benchmark):
+    """Queries parsed per benchmark round (batch of 50)."""
+    result = benchmark(lambda: [parse(text) for text in _SQL_TEXTS])
+    assert len(result) == 50
+
+
+def test_perf_sql_to_diagram_throughput(benchmark):
+    """Full SQL → simplified diagram pipeline on the 50-query batch."""
+
+    def run():
+        return [
+            build_diagram(simplify_logic_tree(sql_to_logic_tree(query)))
+            for query in _QUERIES
+        ]
+
+    diagrams = benchmark(run)
+    assert len(diagrams) == 50
+
+
+def test_perf_recovery_throughput(benchmark):
+    """Diagram → Logic Tree recovery on the 50-query batch."""
+    from repro.diagram import ensure_unique_aliases, flatten_existential_blocks
+
+    diagrams = [
+        build_diagram(flatten_existential_blocks(ensure_unique_aliases(sql_to_logic_tree(q))))
+        for q in _QUERIES
+    ]
+    result = benchmark(lambda: [recover_logic_tree(d) for d in diagrams])
+    assert len(result) == 50
+
+
+def test_perf_render_throughput(benchmark):
+    """DOT + SVG rendering on the 50-query batch."""
+    diagrams = [build_diagram(sql_to_logic_tree(query)) for query in _QUERIES]
+
+    def render_all():
+        return [(diagram_to_dot(d), diagram_to_svg(d)) for d in diagrams]
+
+    rendered = benchmark(render_all)
+    assert all(dot and svg for dot, svg in rendered)
+
+
+def test_perf_engine_crosscheck_throughput(benchmark):
+    """SQL execution + Logic Tree evaluation agreement on a 20-query batch."""
+    queries = _QUERIES[:20]
+
+    def run():
+        agreements = 0
+        for query in queries:
+            expected = execute(query, _DATABASE).as_set()
+            actual = evaluate_logic_tree(sql_to_logic_tree(query), _DATABASE).as_set()
+            agreements += expected == actual
+        return agreements
+
+    agreements = benchmark(run)
+    assert agreements == len(queries)

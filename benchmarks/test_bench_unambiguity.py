@@ -1,0 +1,112 @@
+"""Experiment prop5.1: unambiguity of valid diagrams (Section 5, Appendix B).
+
+Regenerates the case analysis of the proof: all 16 valid depth-3 path
+patterns, plus randomly generated branching Logic Trees, admit exactly one
+consistent nesting hierarchy and the recovered Logic Tree matches the one the
+diagram was built from.  The ablation removes the arrow directions and shows
+the diagrams become ambiguous — the redundancy argument of Section 4.5.2.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import sailors_schema
+from repro.diagram import (
+    build_diagram,
+    consistent_logic_trees,
+    ensure_unique_aliases,
+    enumerate_valid_path_patterns,
+    flatten_existential_blocks,
+    logic_trees_match,
+    recover_logic_tree,
+)
+from repro.logic import sql_to_logic_tree
+from repro.workloads import QueryGenConfig, QueryGenerator
+
+from benchmarks.conftest import print_block
+
+
+def test_prop51_path_patterns_unambiguous(benchmark):
+    """All 16 valid path patterns of Appendix B.1 recover uniquely."""
+    patterns = enumerate_valid_path_patterns()
+
+    def recover_all():
+        outcomes = []
+        for family, edges, tree in patterns:
+            diagram = build_diagram(tree)
+            candidates = consistent_logic_trees(diagram)
+            recovered = recover_logic_tree(diagram)
+            outcomes.append(
+                (
+                    family,
+                    "".join(sorted(edges)),
+                    len(candidates),
+                    logic_trees_match(
+                        flatten_existential_blocks(ensure_unique_aliases(tree)), recovered
+                    ),
+                )
+            )
+        return outcomes
+
+    outcomes = benchmark(recover_all)
+    assert len(outcomes) == 16
+    assert all(count == 1 and matched for _f, _e, count, matched in outcomes)
+    rows = [f"{'family':<8}{'edges':<10}{'consistent LTs':>15}{'round-trip':>12}"]
+    rows += [
+        f"{family:<8}{edges:<10}{count:>15}{str(matched):>12}"
+        for family, edges, count, matched in outcomes
+    ]
+    print_block("Proposition 5.1 — the 16 valid path patterns", "\n".join(rows))
+
+
+def test_prop51_random_branching_trees(benchmark):
+    """Randomly generated non-degenerate queries (depth ≤ 3) are unambiguous."""
+    generator = QueryGenerator(sailors_schema(), QueryGenConfig(max_depth=3))
+    trees = []
+    for seed in range(60):
+        tree = flatten_existential_blocks(
+            ensure_unique_aliases(sql_to_logic_tree(generator.generate(seed)))
+        )
+        if tree.depth() <= 3:
+            trees.append(tree)
+
+    def recover_all():
+        unique = 0
+        for tree in trees:
+            diagram = build_diagram(tree)
+            if len(consistent_logic_trees(diagram)) == 1 and logic_trees_match(
+                tree, recover_logic_tree(diagram)
+            ):
+                unique += 1
+        return unique
+
+    unique = benchmark(recover_all)
+    assert unique == len(trees)
+    print_block(
+        "Proposition 5.1 — random branching Logic Trees",
+        f"{unique}/{len(trees)} generated diagrams admit exactly one Logic Tree "
+        "and round-trip to the original",
+    )
+
+
+def test_prop51_ablation_without_arrow_rules(benchmark):
+    """Ablation: dropping arrow directions makes diagrams ambiguous."""
+    patterns = enumerate_valid_path_patterns()
+
+    def count_ambiguous():
+        ambiguous = 0
+        candidate_counts = []
+        for _family, _edges, tree in patterns:
+            diagram = build_diagram(tree)
+            candidates = consistent_logic_trees(diagram, use_directions=False)
+            candidate_counts.append(len(candidates))
+            if len(candidates) > 1:
+                ambiguous += 1
+        return ambiguous, candidate_counts
+
+    ambiguous, counts = benchmark(count_ambiguous)
+    assert ambiguous > 0
+    print_block(
+        "Ablation — recovery without the arrow rules",
+        f"{ambiguous}/16 path patterns become ambiguous without arrow directions\n"
+        f"candidate hierarchies per pattern: {counts}",
+    )

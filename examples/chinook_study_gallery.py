@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Render every user-study stimulus over the Chinook schema.
+
+The study (Section 6.1, Appendices D–F) used 6 qualification questions and 12
+test questions, all over the Chinook digital-media-store schema.  This script
+parses each of them, builds its QueryVis diagram, verifies the diagram is
+structurally valid, and writes SVG + DOT renderings into
+``examples/gallery_output/`` — roughly the artefact a study designer would
+hand to participants in the QV and Both conditions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import queryvis
+from repro.diagram import diagram_metrics, validate_diagram
+from repro.render import diagram_to_dot, diagram_to_svg, diagram_summary
+from repro.study import qualification_questions, study_schema, test_questions
+
+
+def main() -> None:
+    output_dir = Path(__file__).resolve().parent / "gallery_output"
+    output_dir.mkdir(exist_ok=True)
+    schema = study_schema()
+
+    print(f"{'question':<10} {'category':<12} {'tables':>6} {'edges':>6} "
+          f"{'boxes':>6} {'elements':>9}")
+    for question in test_questions():
+        diagram = queryvis(question.sql, schema=schema)
+        validate_diagram(diagram)
+        metrics = diagram_metrics(diagram)
+        print(
+            f"{question.question_id:<10} {question.category.value:<12} "
+            f"{len(diagram.data_tables()):>6} {len(diagram.edges):>6} "
+            f"{len(diagram.boxes):>6} {metrics.element_count:>9}"
+        )
+        stem = output_dir / question.question_id.lower()
+        stem.with_suffix(".svg").write_text(diagram_to_svg(diagram))
+        stem.with_suffix(".dot").write_text(diagram_to_dot(diagram))
+
+    print()
+    print("Qualification exam (Appendix D):")
+    for question in qualification_questions():
+        diagram = queryvis(question.sql, schema=schema)
+        validate_diagram(diagram)
+        print(f"  {question.question_id}: {diagram_summary(diagram)}")
+        stem = output_dir / question.question_id.lower()
+        stem.with_suffix(".svg").write_text(diagram_to_svg(diagram))
+        stem.with_suffix(".dot").write_text(diagram_to_dot(diagram))
+
+    print()
+    print(f"Wrote renderings for all 18 stimuli into {output_dir}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""The no / only / all pattern gallery across three schemas (Appendix G).
+
+The same logical pattern yields the same diagram regardless of schema:
+"sailors who reserve {no, only, all} red boats", "students who take {no, only,
+all} art classes" and "actors who play in {no, only, all} Hitchcock movies"
+produce, row by row, identical diagram shapes (Figs. 25/26).  The script also
+shows that the three *syntactically different* spellings of "only red boats"
+in Fig. 24 (NOT EXISTS, NOT IN, NOT = ANY) map to one and the same diagram.
+"""
+
+from __future__ import annotations
+
+from repro import queryvis
+from repro.diagram import pattern_signature, same_pattern
+from repro.render import diagram_to_text
+
+PATTERNS = {
+    # (entity table, link table, target table, link-to-entity, link-to-target,
+    #  selection column, selection value, selected column)
+    "sailors": ("Sailor", "Reserves", "Boat", "sid", "bid", "color", "red", "sname"),
+    "students": ("Student", "Takes", "Class", "sid", "cid", "department", "art", "sname"),
+    "actors": ("Actor", "Casts", "Movie", "aid", "mid", "director", "Hitchcock", "aname"),
+}
+
+
+def no_query(entity, link, target, ekey, tkey, column, value, select) -> str:
+    return f"""
+SELECT S.{select}
+FROM {entity} S
+WHERE NOT EXISTS(
+    SELECT * FROM {link} R
+    WHERE R.{ekey} = S.{ekey}
+    AND EXISTS(
+        SELECT * FROM {target} B
+        WHERE B.{column} = '{value}' AND R.{tkey} = B.{tkey}))
+"""
+
+
+def only_query(entity, link, target, ekey, tkey, column, value, select) -> str:
+    return f"""
+SELECT S.{select}
+FROM {entity} S
+WHERE NOT EXISTS(
+    SELECT * FROM {link} R
+    WHERE R.{ekey} = S.{ekey}
+    AND NOT EXISTS(
+        SELECT * FROM {target} B
+        WHERE B.{column} = '{value}' AND R.{tkey} = B.{tkey}))
+"""
+
+
+def all_query(entity, link, target, ekey, tkey, column, value, select) -> str:
+    return f"""
+SELECT S.{select}
+FROM {entity} S
+WHERE NOT EXISTS(
+    SELECT * FROM {target} B
+    WHERE B.{column} = '{value}'
+    AND NOT EXISTS(
+        SELECT * FROM {link} R
+        WHERE R.{tkey} = B.{tkey} AND R.{ekey} = S.{ekey}))
+"""
+
+
+FIG24_VARIANTS = (
+    """
+SELECT S.sname FROM Sailor S
+WHERE NOT EXISTS(
+    SELECT * FROM Reserves R WHERE R.sid = S.sid
+    AND NOT EXISTS(
+        SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))
+""",
+    """
+SELECT S.sname FROM Sailor S
+WHERE S.sid NOT IN(
+    SELECT R.sid FROM Reserves R
+    WHERE R.bid NOT IN(
+        SELECT B.bid FROM Boat B WHERE B.color = 'red'))
+""",
+    """
+SELECT S.sname FROM Sailor S
+WHERE NOT S.sid = ANY(
+    SELECT R.sid FROM Reserves R
+    WHERE NOT R.bid = ANY(
+        SELECT B.bid FROM Boat B WHERE B.color = 'red'))
+""",
+)
+
+
+def main() -> None:
+    builders = {"no": no_query, "only": only_query, "all": all_query}
+    signatures: dict[str, list[str]] = {}
+    for pattern_name, build in builders.items():
+        print(f"=== pattern: {pattern_name} ===")
+        row_signatures = []
+        for schema_name, spec in PATTERNS.items():
+            diagram = queryvis(build(*spec))
+            signature = pattern_signature(diagram)
+            row_signatures.append(signature.digest)
+            print(f"  {schema_name:<9} signature {signature.digest}")
+        signatures[pattern_name] = row_signatures
+        identical = len(set(row_signatures)) == 1
+        print(f"  -> identical across the three schemas: {identical}")
+        print()
+
+    distinct = {sigs[0] for sigs in signatures.values()}
+    print(f"The three patterns are mutually distinct: {len(distinct) == 3}")
+    print()
+
+    print("Fig. 24 — three syntactic variants of 'only red boats':")
+    diagrams = [queryvis(sql) for sql in FIG24_VARIANTS]
+    all_same = all(same_pattern(diagrams[0], other) for other in diagrams[1:])
+    print(f"  all three variants map to the same diagram: {all_same}")
+    print()
+    print("Diagram of the 'only' pattern on the sailors schema:")
+    print(diagram_to_text(diagrams[0]))
+
+
+if __name__ == "__main__":
+    main()

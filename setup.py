@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The build environment in which this reproduction runs is offline and ships
+setuptools without the ``wheel`` package, so PEP 517 editable installs fail
+with ``invalid command 'bdist_wheel'``.  This thin ``setup.py`` lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

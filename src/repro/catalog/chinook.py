@@ -1,0 +1,136 @@
+"""The Chinook media-store schema used by the user study (Section 6.1).
+
+The schema follows the study tutorial (Appendix E, page 2): Artist, Album,
+Track, MediaType, Genre, Playlist, PlaylistTrack, Invoice, InvoiceLine,
+Customer, Employee — with the foreign keys drawn in the tutorial figure.
+Only the attributes referenced by the study stimuli need to exist for the
+diagrams, but we include the full column lists so the schema also works as a
+realistic target for the relational engine and the data generator.
+"""
+
+from __future__ import annotations
+
+from .schema import Schema
+
+
+def chinook_schema() -> Schema:
+    """Return the Chinook digital-media-store schema."""
+    schema = Schema(name="chinook")
+
+    schema.add_table(
+        "Artist", [("ArtistId", "int"), ("Name", "str")], primary_key=["ArtistId"]
+    )
+    schema.add_table(
+        "Album",
+        [("AlbumId", "int"), ("Title", "str"), ("ArtistId", "int")],
+        primary_key=["AlbumId"],
+    )
+    schema.add_table(
+        "Track",
+        [
+            ("TrackId", "int"),
+            ("Name", "str"),
+            ("AlbumId", "int"),
+            ("MediaTypeId", "int"),
+            ("GenreId", "int"),
+            ("Composer", "str"),
+            ("Milliseconds", "int"),
+            ("Bytes", "int"),
+            ("UnitPrice", "float"),
+        ],
+        primary_key=["TrackId"],
+    )
+    schema.add_table(
+        "MediaType", [("MediaTypeId", "int"), ("Name", "str")], primary_key=["MediaTypeId"]
+    )
+    schema.add_table(
+        "Genre", [("GenreId", "int"), ("Name", "str")], primary_key=["GenreId"]
+    )
+    schema.add_table(
+        "Playlist", [("PlaylistId", "int"), ("Name", "str")], primary_key=["PlaylistId"]
+    )
+    schema.add_table(
+        "PlaylistTrack",
+        [("PlaylistId", "int"), ("TrackId", "int")],
+        primary_key=["PlaylistId", "TrackId"],
+    )
+    schema.add_table(
+        "Customer",
+        [
+            ("CustomerId", "int"),
+            ("FirstName", "str"),
+            ("LastName", "str"),
+            ("Company", "str"),
+            ("Address", "str"),
+            ("City", "str"),
+            ("State", "str"),
+            ("Country", "str"),
+            ("PostalCode", "str"),
+            ("Phone", "str"),
+            ("Fax", "str"),
+            ("Email", "str"),
+            ("SupportRepId", "int"),
+        ],
+        primary_key=["CustomerId"],
+    )
+    schema.add_table(
+        "Employee",
+        [
+            ("EmployeeId", "int"),
+            ("LastName", "str"),
+            ("FirstName", "str"),
+            ("Title", "str"),
+            ("ReportsTo", "int"),
+            ("BirthDate", "str"),
+            ("HireDate", "str"),
+            ("Address", "str"),
+            ("City", "str"),
+            ("State", "str"),
+            ("Country", "str"),
+            ("PostalCode", "str"),
+            ("Phone", "str"),
+            ("Fax", "str"),
+            ("Email", "str"),
+        ],
+        primary_key=["EmployeeId"],
+    )
+    schema.add_table(
+        "Invoice",
+        [
+            ("InvoiceId", "int"),
+            ("CustomerId", "int"),
+            ("InvoiceDate", "str"),
+            ("BillingAddress", "str"),
+            ("BillingCity", "str"),
+            ("BillingState", "str"),
+            ("BillingCountry", "str"),
+            ("BillingPostalCode", "str"),
+            ("Total", "float"),
+        ],
+        primary_key=["InvoiceId"],
+    )
+    schema.add_table(
+        "InvoiceLine",
+        [
+            ("InvoiceLineId", "int"),
+            ("InvoiceId", "int"),
+            ("TrackId", "int"),
+            ("UnitPrice", "float"),
+            ("Quantity", "int"),
+        ],
+        primary_key=["InvoiceLineId"],
+    )
+
+    schema.add_foreign_key("Album", "ArtistId", "Artist", "ArtistId")
+    schema.add_foreign_key("Track", "AlbumId", "Album", "AlbumId")
+    schema.add_foreign_key("Track", "MediaTypeId", "MediaType", "MediaTypeId")
+    schema.add_foreign_key("Track", "GenreId", "Genre", "GenreId")
+    schema.add_foreign_key("PlaylistTrack", "PlaylistId", "Playlist", "PlaylistId")
+    schema.add_foreign_key("PlaylistTrack", "TrackId", "Track", "TrackId")
+    schema.add_foreign_key("InvoiceLine", "InvoiceId", "Invoice", "InvoiceId")
+    schema.add_foreign_key("InvoiceLine", "TrackId", "Track", "TrackId")
+    schema.add_foreign_key("Invoice", "CustomerId", "Customer", "CustomerId")
+    schema.add_foreign_key("Customer", "SupportRepId", "Employee", "EmployeeId")
+    schema.add_foreign_key("Employee", "ReportsTo", "Employee", "EmployeeId")
+    schema.validate()
+    return schema

@@ -1,0 +1,169 @@
+"""Relational schema model.
+
+QueryVis diagrams "extend previously existing visual representations of
+relational schemata" (Section 1.2), so the catalog keeps the same vocabulary
+a schema diagram would: tables with named, typed attributes, primary keys and
+foreign keys.  The catalog is also what the relational engine and the random
+query generator consult to know which joins are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class SchemaError(Exception):
+    """Raised for inconsistent schema definitions or unknown names."""
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A column of a table.
+
+    ``dtype`` is one of ``"int"``, ``"float"`` or ``"str"`` — the only value
+    domains needed by the supported SQL fragment (Fig. 4: ``V ::= string or
+    number``).
+    """
+
+    name: str
+    dtype: str = "str"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in ("int", "float", "str"):
+            raise SchemaError(f"unknown dtype {self.dtype!r} for attribute {self.name}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key edge: ``table.column -> referenced_table.referenced_column``."""
+
+    table: str
+    column: str
+    referenced_table: str
+    referenced_column: str
+
+
+@dataclass(frozen=True)
+class Table:
+    """A table with attributes and an optional primary key."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    primary_key: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [attribute.name for attribute in self.attributes]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate attribute names in table {self.name}")
+        missing = [key for key in self.primary_key if key not in names]
+        if missing:
+            raise SchemaError(
+                f"primary key columns {missing} are not attributes of {self.name}"
+            )
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name`` (case-insensitive)."""
+        lowered = name.lower()
+        for attribute in self.attributes:
+            if attribute.name.lower() == lowered:
+                return attribute
+        raise SchemaError(f"table {self.name} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(attribute.name.lower() == lowered for attribute in self.attributes)
+
+
+@dataclass
+class Schema:
+    """A named collection of tables and foreign keys."""
+
+    name: str
+    tables: dict[str, Table] = field(default_factory=dict)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    def add_table(
+        self,
+        name: str,
+        columns: Iterable[tuple[str, str]] | Iterable[str],
+        primary_key: Iterable[str] = (),
+    ) -> Table:
+        """Add a table.
+
+        ``columns`` is either an iterable of names (all typed ``str``) or an
+        iterable of ``(name, dtype)`` pairs.
+        """
+        attributes: list[Attribute] = []
+        for column in columns:
+            if isinstance(column, str):
+                attributes.append(Attribute(column))
+            else:
+                column_name, dtype = column
+                attributes.append(Attribute(column_name, dtype))
+        table = Table(name=name, attributes=tuple(attributes), primary_key=tuple(primary_key))
+        if name.lower() in {existing.lower() for existing in self.tables}:
+            raise SchemaError(f"table {name!r} already defined in schema {self.name}")
+        self.tables[name] = table
+        return table
+
+    def add_foreign_key(
+        self, table: str, column: str, referenced_table: str, referenced_column: str
+    ) -> ForeignKey:
+        """Register a foreign-key edge after validating both endpoints."""
+        source = self.table(table)
+        target = self.table(referenced_table)
+        if not source.has_attribute(column):
+            raise SchemaError(f"{table}.{column} does not exist")
+        if not target.has_attribute(referenced_column):
+            raise SchemaError(f"{referenced_table}.{referenced_column} does not exist")
+        fk = ForeignKey(source.name, column, target.name, referenced_column)
+        self.foreign_keys.append(fk)
+        return fk
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+
+    def table(self, name: str) -> Table:
+        """Return the table called ``name`` (case-insensitive)."""
+        lowered = name.lower()
+        for table_name, table in self.tables.items():
+            if table_name.lower() == lowered:
+                return table
+        raise SchemaError(f"schema {self.name} has no table {name!r}")
+
+    def has_table(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(table_name.lower() == lowered for table_name in self.tables)
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self.tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self.tables.values())
+
+    def joinable_pairs(self) -> list[tuple[str, str, str, str]]:
+        """All (table, column, table, column) pairs connected by a foreign key.
+
+        The random query generator uses these pairs so that generated joins
+        are meaningful with respect to the schema.
+        """
+        pairs = []
+        for fk in self.foreign_keys:
+            pairs.append((fk.table, fk.column, fk.referenced_table, fk.referenced_column))
+        return pairs
+
+    def validate(self) -> None:
+        """Check internal consistency (all FK endpoints exist)."""
+        for fk in self.foreign_keys:
+            self.table(fk.table).attribute(fk.column)
+            self.table(fk.referenced_table).attribute(fk.referenced_column)

@@ -1,0 +1,153 @@
+"""Command-line interface for the QueryVis reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro render query.sql --format svg -o query.svg
+    python -m repro render query.sql --format text --no-simplify
+    python -m repro trc query.sql
+    python -m repro study --questions 9
+
+``render`` turns an SQL file (or stdin when the path is ``-``) into a DOT,
+SVG or plain-text diagram; ``trc`` prints the Logic Tree and its tuple
+relational calculus; ``study`` runs the simulated user-study replication and
+prints the Fig. 7-style report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .diagram.build import sql_to_diagram
+from .logic.simplify import simplify_logic_tree
+from .logic.translate import sql_to_logic_tree
+from .logic.trc import logic_tree_to_trc
+from .render.ascii_art import diagram_to_text
+from .render.dot import diagram_to_dot
+from .render.svg import diagram_to_svg
+from .sql.errors import SQLError
+from .sql.parser import parse
+
+_RENDERERS = {
+    "dot": diagram_to_dot,
+    "svg": diagram_to_svg,
+    "text": diagram_to_text,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="QueryVis: logic-based diagrams for SQL queries"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    render = subparsers.add_parser("render", help="render an SQL query as a diagram")
+    render.add_argument("sql_file", help="path to a .sql file, or - for stdin")
+    render.add_argument(
+        "--format", choices=sorted(_RENDERERS), default="text", help="output format"
+    )
+    render.add_argument("-o", "--output", help="output file (default: stdout)")
+    render.add_argument(
+        "--no-simplify",
+        action="store_true",
+        help="keep the literal NOT EXISTS form instead of the ∀ simplification",
+    )
+
+    trc = subparsers.add_parser("trc", help="print the Logic Tree and TRC of a query")
+    trc.add_argument("sql_file", help="path to a .sql file, or - for stdin")
+    trc.add_argument(
+        "--simplify", action="store_true", help="apply the ∄∄ → ∀∃ simplification first"
+    )
+
+    study = subparsers.add_parser("study", help="run the simulated user-study replication")
+    study.add_argument(
+        "--questions", type=int, choices=(9, 12), default=9,
+        help="analyse the 9 non-GROUP BY questions (Fig. 7) or all 12 (Fig. 19)",
+    )
+    study.add_argument("--seed", type=int, default=None, help="simulation seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "render":
+            return _run_render(args)
+        if args.command == "trc":
+            return _run_trc(args)
+        return _run_study(args)
+    except SQLError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g. `head`).
+        return 0
+
+
+# ---------------------------------------------------------------------- #
+# subcommands
+# ---------------------------------------------------------------------- #
+
+
+def _read_sql(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    return Path(path).read_text()
+
+
+def _run_render(args: argparse.Namespace) -> int:
+    query = parse(_read_sql(args.sql_file))
+    diagram = sql_to_diagram(query, simplify=not args.no_simplify)
+    rendered = _RENDERERS[args.format](diagram)
+    if args.output:
+        Path(args.output).write_text(rendered)
+    else:
+        print(rendered)
+    return 0
+
+
+def _run_trc(args: argparse.Namespace) -> int:
+    tree = sql_to_logic_tree(parse(_read_sql(args.sql_file)))
+    if args.simplify:
+        tree = simplify_logic_tree(tree)
+    print(tree.describe())
+    print()
+    print(logic_tree_to_trc(tree).text)
+    return 0
+
+
+def _run_study(args: argparse.Namespace) -> int:
+    from .study import (
+        analyze_study,
+        apply_exclusion,
+        format_fig7,
+        format_participant_deltas,
+        legitimate_responses,
+        questions_without_grouping,
+        simulate_study,
+    )
+    from .study.simulate import DEFAULT_SEED
+
+    study = simulate_study(seed=args.seed if args.seed is not None else DEFAULT_SEED)
+    exclusion = apply_exclusion(study)
+    responses = legitimate_responses(study, exclusion)
+    if args.questions == 9:
+        nine_ids = {q.question_id for q in questions_without_grouping()}
+        responses = [r for r in responses if r.question_id in nine_ids]
+    results = analyze_study(responses)
+    print(
+        f"{exclusion.n_total} workers simulated, {exclusion.n_excluded} excluded, "
+        f"{exclusion.n_legitimate} legitimate"
+    )
+    print()
+    print(format_fig7(results, title=f"Study results ({args.questions} questions)"))
+    print()
+    print(format_participant_deltas(results))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

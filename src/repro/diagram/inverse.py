@@ -1,0 +1,389 @@
+"""Diagram → Logic Tree recovery and the unambiguity check (Section 5, App. B).
+
+QueryVis deliberately does not draw the nesting hierarchy explicitly; the
+paper proves that for *valid* diagrams (generated from non-degenerate queries
+of depth ≤ 3) the hierarchy — and therefore the unique Logic Tree — can be
+recovered from the arrow directions alone.
+
+This module implements that recovery:
+
+* :func:`consistent_logic_trees` enumerates every candidate nesting hierarchy
+  over the diagram's table groups and keeps those that (a) would regenerate
+  exactly the observed arrow directions under the §4.7 arrow rules,
+  (b) respect nesting depth ≤ 3, and (c) satisfy the connectedness property
+  (Property 5.2).  For a valid diagram exactly one candidate survives —
+  which is precisely Proposition 5.1.
+* :func:`recover_logic_tree` returns that unique Logic Tree (raising
+  :class:`AmbiguousDiagramError` otherwise), reconstructing tables,
+  predicates, quantifiers and the SELECT list from the diagram content.
+* :func:`logic_trees_match` compares two Logic Trees up to predicate order
+  and orientation — used to verify the round trip LT → diagram → LT.
+
+The recovery operates on diagrams built *without* the ∀ simplification (every
+non-root block is a dashed ∄ box), which is the setting of the proof in
+Appendix B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..sql.ast import AggregateCall, ColumnRef, Comparison, FLIPPED_OP, Literal, TableRef
+from ..logic.logic_tree import LogicTree, LogicTreeNode, Quantifier
+from ..sql.lexer import tokenize
+from ..sql.tokens import TokenType
+from .model import BoxStyle, Diagram, Edge, RowKind
+
+#: Maximum nesting depth covered by the proof (Section 5.2).
+MAX_DEPTH = 3
+
+
+class AmbiguousDiagramError(Exception):
+    """The diagram admits zero or more than one consistent Logic Tree."""
+
+
+@dataclass(frozen=True)
+class _Group:
+    """One query block as visible in the diagram: a box or the root group."""
+
+    group_id: str
+    table_ids: frozenset[str]
+    quantifier: Quantifier | None  # None for the root group
+
+
+# ---------------------------------------------------------------------- #
+# group extraction
+# ---------------------------------------------------------------------- #
+
+
+def diagram_groups(diagram: Diagram) -> list[_Group]:
+    """Extract the table groups of ``diagram`` (root group first)."""
+    root_tables = diagram.unboxed_table_ids()
+    if not root_tables:
+        raise AmbiguousDiagramError("diagram has no unboxed root tables")
+    groups = [_Group(group_id="root", table_ids=root_tables, quantifier=None)]
+    for box in diagram.boxes:
+        quantifier = (
+            Quantifier.NOT_EXISTS if box.style is BoxStyle.NOT_EXISTS else Quantifier.FOR_ALL
+        )
+        groups.append(
+            _Group(group_id=box.box_id, table_ids=box.table_ids, quantifier=quantifier)
+        )
+    return groups
+
+
+def _group_of_table(groups: list[_Group]) -> dict[str, int]:
+    mapping: dict[str, int] = {}
+    for index, group in enumerate(groups):
+        for table_id in group.table_ids:
+            mapping[table_id] = index
+    return mapping
+
+
+# ---------------------------------------------------------------------- #
+# candidate enumeration
+# ---------------------------------------------------------------------- #
+
+
+def consistent_logic_trees(
+    diagram: Diagram,
+    *,
+    require_connected: bool = True,
+    use_directions: bool = True,
+    max_depth: int = MAX_DEPTH,
+) -> list[dict[int, int]]:
+    """Enumerate parent assignments consistent with the diagram.
+
+    Returns a list of mappings ``group index -> parent group index`` (the
+    root group, index 0, is never a key).  ``use_directions=False`` ignores
+    the observed arrow directions; this is the ablation showing that without
+    the arrow rules the diagram becomes ambiguous.
+    """
+    groups = diagram_groups(diagram)
+    group_of = _group_of_table(groups)
+    join_edges = diagram.join_edges()
+    candidates: list[dict[int, int]] = []
+    non_root = list(range(1, len(groups)))
+    if not non_root:
+        return [{}]
+    for parents in product(range(len(groups)), repeat=len(non_root)):
+        assignment = dict(zip(non_root, parents))
+        if not _is_tree(assignment, len(groups)):
+            continue
+        depths = _depths(assignment, len(groups))
+        if max(depths.values()) > max_depth:
+            continue
+        if not _edges_consistent(
+            join_edges, group_of, assignment, depths, use_directions=use_directions
+        ):
+            continue
+        if require_connected and not _connected_property(
+            join_edges, group_of, assignment, len(groups)
+        ):
+            continue
+        candidates.append(assignment)
+    return candidates
+
+
+def _is_tree(assignment: dict[int, int], group_count: int) -> bool:
+    """True if the parent assignment forms a tree rooted at group 0."""
+    for start in assignment:
+        seen = {start}
+        node = start
+        while node != 0:
+            node = assignment.get(node, 0)
+            if node in seen:
+                return False
+            seen.add(node)
+    return True
+
+
+def _depths(assignment: dict[int, int], group_count: int) -> dict[int, int]:
+    depths = {0: 0}
+
+    def depth(node: int) -> int:
+        if node in depths:
+            return depths[node]
+        depths[node] = depth(assignment[node]) + 1
+        return depths[node]
+
+    for node in range(1, group_count):
+        depth(node)
+    return depths
+
+
+def _ancestors(node: int, assignment: dict[int, int]) -> set[int]:
+    result = set()
+    while node != 0:
+        node = assignment[node]
+        result.add(node)
+    return result
+
+
+def _edges_consistent(
+    edges: tuple[Edge, ...],
+    group_of: dict[str, int],
+    assignment: dict[int, int],
+    depths: dict[int, int],
+    use_directions: bool,
+) -> bool:
+    for edge in edges:
+        source_group = group_of[edge.source.table_id]
+        target_group = group_of[edge.target.table_id]
+        if source_group == target_group:
+            if use_directions and edge.directed:
+                return False
+            continue
+        # Cross-group predicates can only reference an ancestor block's
+        # aliases (scoping), so the two groups must be in an ancestor
+        # relationship in any consistent tree.
+        if source_group not in _ancestors(target_group, assignment) and (
+            target_group not in _ancestors(source_group, assignment)
+        ):
+            return False
+        if not use_directions:
+            continue
+        source_depth = depths[source_group]
+        target_depth = depths[target_group]
+        if source_depth == target_depth:
+            return False
+        diff = abs(source_depth - target_depth)
+        if diff == 1:
+            expected_source_is_shallower = True
+        else:
+            expected_source_is_shallower = False
+        source_is_shallower = source_depth < target_depth
+        if not edge.directed:
+            return False
+        if source_is_shallower != expected_source_is_shallower:
+            return False
+    return True
+
+
+def _connected_property(
+    edges: tuple[Edge, ...],
+    group_of: dict[str, int],
+    assignment: dict[int, int],
+    group_count: int,
+) -> bool:
+    """Property 5.2 on the candidate hierarchy."""
+    links: set[tuple[int, int]] = set()
+    for edge in edges:
+        a = group_of[edge.source.table_id]
+        b = group_of[edge.target.table_id]
+        if a != b:
+            links.add((a, b))
+            links.add((b, a))
+
+    children: dict[int, list[int]] = {index: [] for index in range(group_count)}
+    for child, parent in assignment.items():
+        children[parent].append(child)
+
+    for child, parent in assignment.items():
+        if (child, parent) in links:
+            continue
+        grandchildren = children[child]
+        if grandchildren and all(
+            (gc, child) in links and (gc, parent) in links for gc in grandchildren
+        ):
+            continue
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# full Logic Tree reconstruction
+# ---------------------------------------------------------------------- #
+
+
+def recover_logic_tree(diagram: Diagram) -> LogicTree:
+    """Recover the unique Logic Tree of a valid (unsimplified) diagram."""
+    candidates = consistent_logic_trees(diagram)
+    if len(candidates) != 1:
+        raise AmbiguousDiagramError(
+            f"diagram admits {len(candidates)} consistent logic trees"
+        )
+    assignment = candidates[0]
+    groups = diagram_groups(diagram)
+    group_of = _group_of_table(groups)
+    depths = _depths(assignment, len(groups))
+
+    predicates_per_group: dict[int, list[Comparison]] = {
+        index: [] for index in range(len(groups))
+    }
+    # Join predicates from edges: a cross-group predicate belongs to the
+    # deeper of the two blocks ("as early as possible" placement).
+    for edge in diagram.join_edges():
+        source_group = group_of[edge.source.table_id]
+        target_group = group_of[edge.target.table_id]
+        owner = (
+            source_group
+            if depths[source_group] >= depths[target_group]
+            else target_group
+        )
+        op = edge.operator or "="
+        predicate = Comparison(
+            ColumnRef(edge.source.table_id, edge.source.row_key),
+            op,
+            ColumnRef(edge.target.table_id, edge.target.row_key),
+        )
+        predicates_per_group[owner].append(predicate)
+    # Selection predicates from highlighted rows.
+    for table in diagram.data_tables():
+        for row in table.rows:
+            if row.kind is RowKind.SELECTION:
+                predicates_per_group[group_of[table.table_id]].append(
+                    _parse_selection_row(table.table_id, row.label)
+                )
+
+    children_of: dict[int, list[int]] = {index: [] for index in range(len(groups))}
+    for child, parent in assignment.items():
+        children_of[parent].append(child)
+
+    def build_node(index: int) -> LogicTreeNode:
+        group = groups[index]
+        tables = tuple(
+            TableRef(name=diagram.table(table_id).name, alias=table_id)
+            for table_id in sorted(group.table_ids)
+        )
+        return LogicTreeNode(
+            tables=tables,
+            predicates=tuple(predicates_per_group[index]),
+            quantifier=group.quantifier,
+            children=tuple(build_node(child) for child in sorted(children_of[index])),
+        )
+
+    root = build_node(0)
+    select_items = _recover_select_items(diagram)
+    group_by = tuple(
+        ColumnRef(table.table_id, row.label)
+        for table in diagram.data_tables()
+        for row in table.rows
+        if row.kind is RowKind.GROUP_BY
+    )
+    return LogicTree(root=root, select_items=select_items, group_by=group_by)
+
+
+def _parse_selection_row(table_id: str, label: str) -> Comparison:
+    tokens = [t for t in tokenize(label) if t.type is not TokenType.EOF]
+    if len(tokens) != 3 or tokens[1].type is not TokenType.OPERATOR:
+        raise AmbiguousDiagramError(f"cannot parse selection row {label!r}")
+    column = ColumnRef(table_id, tokens[0].value)
+    literal_token = tokens[2]
+    if literal_token.type is TokenType.NUMBER:
+        text = literal_token.value
+        value: int | float | str = float(text) if "." in text else int(text)
+    else:
+        value = literal_token.value
+    return Comparison(column, tokens[1].value, Literal(value))
+
+
+def _recover_select_items(diagram: Diagram) -> tuple[ColumnRef | AggregateCall, ...]:
+    items: list[ColumnRef | AggregateCall] = []
+    select_edges = {edge.source.row_key: edge for edge in diagram.select_edges()}
+    for row in diagram.select_table.rows:
+        edge = select_edges.get(row.key.lower()) or select_edges.get(row.key)
+        if row.kind is RowKind.AGGREGATE:
+            func, _, rest = row.label.partition("(")
+            argument = rest.rstrip(")")
+            column = (
+                ColumnRef(None, argument)
+                if "." not in argument
+                else ColumnRef(*argument.split(".", 1))
+            )
+            items.append(AggregateCall(func=func, argument=column))
+        elif edge is not None:
+            items.append(ColumnRef(edge.target.table_id, edge.target.row_key))
+        else:
+            items.append(ColumnRef(None, row.label))
+    return tuple(items)
+
+
+# ---------------------------------------------------------------------- #
+# Logic Tree equivalence (round-trip checking)
+# ---------------------------------------------------------------------- #
+
+
+def logic_trees_match(left: LogicTree, right: LogicTree) -> bool:
+    """Structural equivalence up to predicate order/orientation and casing."""
+    if _canonical_node(left.root) != _canonical_node(right.root):
+        return False
+    return _canonical_select(left) == _canonical_select(right)
+
+
+def _canonical_select(tree: LogicTree) -> tuple:
+    items = []
+    for item in tree.select_items:
+        if isinstance(item, ColumnRef):
+            items.append(("col", (item.table or "").lower(), item.column.lower()))
+        else:
+            argument = item.argument
+            arg_text = str(argument).lower()
+            items.append(("agg", item.func.lower(), arg_text.split(".")[-1]))
+    return tuple(sorted(items))
+
+
+def _canonical_predicate(predicate: Comparison) -> tuple:
+    def operand_key(operand) -> tuple:
+        if isinstance(operand, ColumnRef):
+            return ("col", (operand.table or "").lower(), operand.column.lower())
+        return ("lit", str(operand.value))
+
+    direct = (operand_key(predicate.left), predicate.op, operand_key(predicate.right))
+    flipped = (
+        operand_key(predicate.right),
+        FLIPPED_OP[predicate.op],
+        operand_key(predicate.left),
+    )
+    return min(direct, flipped)
+
+
+def _canonical_node(node: LogicTreeNode) -> tuple:
+    tables = tuple(
+        sorted((table.name.lower(), table.effective_alias.lower()) for table in node.tables)
+    )
+    predicates = tuple(sorted(_canonical_predicate(p) for p in node.predicates))
+    children = tuple(sorted(_canonical_node(child) for child in node.children))
+    quantifier = node.quantifier.value if node.quantifier else "root"
+    return (quantifier, tables, predicates, children)

@@ -1,0 +1,111 @@
+"""Logical pattern signatures for diagrams (Section 1.1, Appendix G).
+
+The same logical pattern — e.g. "x is related to *no* / *only* / *all* y of
+kind z" — produces the same diagram shape regardless of schema: sailors
+reserving red boats, students taking art classes and actors playing in
+Hitchcock movies all map to the same three diagrams (Figs. 25/26).
+
+:func:`pattern_signature` canonicalises a diagram by abstracting away table
+names, attribute names and constant values while keeping everything that
+carries logic: the grouping of tables into quantifier boxes, the edges with
+their directions and operator labels, the presence of constant
+qualifications, and which table the SELECT box points at.  Two queries have
+the same underlying logical pattern exactly when their signatures are equal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .model import Diagram, RowKind
+
+
+@dataclass(frozen=True)
+class PatternSignature:
+    """A canonical, schema-independent fingerprint of a diagram."""
+
+    text: str
+
+    @property
+    def digest(self) -> str:
+        return hashlib.sha256(self.text.encode("utf-8")).hexdigest()[:16]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PatternSignature) and self.text == other.text
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+
+def pattern_signature(diagram: Diagram) -> PatternSignature:
+    """Compute the canonical pattern signature of ``diagram``."""
+    table_index = _canonical_table_indices(diagram)
+    row_index = _canonical_row_indices(diagram, table_index)
+
+    table_parts = []
+    for table in sorted(diagram.tables, key=lambda t: table_index[t.table_id]):
+        kinds = []
+        for row in table.rows:
+            if row.kind is RowKind.SELECTION:
+                kinds.append("const")
+            elif row.kind is RowKind.GROUP_BY:
+                kinds.append("group")
+            elif row.kind is RowKind.AGGREGATE:
+                kinds.append("agg")
+            else:
+                kinds.append("attr")
+        role = "select" if table.is_select else "table"
+        table_parts.append(f"{role}#{table_index[table.table_id]}({','.join(kinds)})")
+
+    box_parts = []
+    for box in diagram.boxes:
+        members = sorted(table_index[table_id] for table_id in box.table_ids)
+        box_parts.append(f"{box.style.value}{members}")
+    box_parts.sort()
+
+    edge_parts = []
+    for edge in diagram.edges:
+        source = (
+            table_index[edge.source.table_id],
+            row_index[(edge.source.table_id, edge.source.row_key.lower())],
+        )
+        target = (
+            table_index[edge.target.table_id],
+            row_index[(edge.target.table_id, edge.target.row_key.lower())],
+        )
+        direction = "->" if edge.directed else "--"
+        operator = edge.operator or "="
+        edge_parts.append(f"{source}{direction}{target}[{operator}]")
+    edge_parts.sort()
+
+    text = " | ".join(
+        ["T:" + " ".join(table_parts), "B:" + " ".join(box_parts), "E:" + " ".join(edge_parts)]
+    )
+    return PatternSignature(text=text)
+
+
+def same_pattern(left: Diagram, right: Diagram) -> bool:
+    """True when the two diagrams share the same logical pattern."""
+    return pattern_signature(left) == pattern_signature(right)
+
+
+# ---------------------------------------------------------------------- #
+# canonical numbering
+# ---------------------------------------------------------------------- #
+
+
+def _canonical_table_indices(diagram: Diagram) -> dict[str, int]:
+    """Number tables by reading order (SELECT box first) for stability."""
+    order = diagram.reading_order()
+    return {table_id: index for index, table_id in enumerate(order)}
+
+
+def _canonical_row_indices(
+    diagram: Diagram, table_index: dict[str, int]
+) -> dict[tuple[str, str], int]:
+    mapping: dict[tuple[str, str], int] = {}
+    for table in diagram.tables:
+        for position, row in enumerate(table.rows):
+            mapping[(table.table_id, row.key.lower())] = position
+    return mapping

@@ -1,0 +1,101 @@
+"""Enumeration of the depth-3 path patterns from the unambiguity proof.
+
+Appendix B.1 of the paper names the six possible edge types of a depth-3
+path Logic Tree (nodes at depths 0–3):
+
+====  ==================  =========================================
+name  connects depths      arrow in the diagram (per the §4.7 rules)
+====  ==================  =========================================
+A     0 – 1               0 → 1   (parent to child)
+B     1 – 2               1 → 2   (parent to child)
+C     0 – 2               2 → 0   (difference > 1: deeper to shallower)
+D     2 – 3               2 → 3   (parent to child; always present)
+E     1 – 3               3 → 1   (difference > 1)
+F     0 – 3               3 → 0   (difference > 1)
+====  ==================  =========================================
+
+and partitions the 16 valid patterns into three families: ⟨A,B⟩ (8 patterns,
+C/E/F optional), ⟨A,B̄⟩ (4 patterns, E forced, C/F optional) and ⟨Ā⟩
+(4 patterns, B and C forced, E/F optional).  :func:`enumerate_valid_path_patterns`
+materialises each pattern as a synthetic Logic Tree so the recovery algorithm
+can be exercised on exactly the case analysis of the proof.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+from ..sql.ast import ColumnRef, Comparison, TableRef
+from ..logic.logic_tree import LogicTree, LogicTreeNode, Quantifier
+
+#: Edge name -> (shallower depth, deeper depth)
+PATH_EDGES: dict[str, tuple[int, int]] = {
+    "A": (0, 1),
+    "B": (1, 2),
+    "C": (0, 2),
+    "D": (2, 3),
+    "E": (1, 3),
+    "F": (0, 3),
+}
+
+
+def pattern_families() -> dict[str, list[frozenset[str]]]:
+    """The three families of valid depth-3 path patterns (Appendix B.1)."""
+    families: dict[str, list[frozenset[str]]] = {"<A,B>": [], "<A,~B>": [], "<~A>": []}
+    # <A,B>: A, B, D present; any subset of {C, E, F}.
+    for extra in _subsets(("C", "E", "F")):
+        families["<A,B>"].append(frozenset({"A", "B", "D", *extra}))
+    # <A,~B>: A present, B absent; D and E forced; any subset of {C, F}.
+    for extra in _subsets(("C", "F")):
+        families["<A,~B>"].append(frozenset({"A", "D", "E", *extra}))
+    # <~A>: A absent; B, C and D forced; any subset of {E, F}.
+    for extra in _subsets(("E", "F")):
+        families["<~A>"].append(frozenset({"B", "C", "D", *extra}))
+    return families
+
+
+def enumerate_valid_path_patterns() -> list[tuple[str, frozenset[str], LogicTree]]:
+    """All 16 valid depth-3 path patterns as (family, edge set, Logic Tree)."""
+    patterns: list[tuple[str, frozenset[str], LogicTree]] = []
+    for family, edge_sets in pattern_families().items():
+        for edges in edge_sets:
+            patterns.append((family, edges, build_path_logic_tree(edges)))
+    return patterns
+
+
+def build_path_logic_tree(edges: frozenset[str], depth: int = 3) -> LogicTree:
+    """Build a synthetic path Logic Tree realising the given edge set.
+
+    Each depth gets one single-attribute table ``T<d>`` aliased ``t<d>``; a
+    pattern edge between depths *i* < *j* becomes an equality predicate in
+    the deeper block *j* (predicates are placed "where they belong",
+    Section 5.1).
+    """
+    predicates_by_depth: dict[int, list[Comparison]] = {d: [] for d in range(depth + 1)}
+    for name in sorted(edges):
+        shallow, deep = PATH_EDGES[name]
+        if deep > depth:
+            raise ValueError(f"edge {name} exceeds requested depth {depth}")
+        predicates_by_depth[deep].append(
+            Comparison(
+                ColumnRef(f"t{deep}", "a"), "=", ColumnRef(f"t{shallow}", "a")
+            )
+        )
+
+    def make_node(d: int) -> LogicTreeNode:
+        children = (make_node(d + 1),) if d < depth else ()
+        return LogicTreeNode(
+            tables=(TableRef(name=f"T{d}", alias=f"t{d}"),),
+            predicates=tuple(predicates_by_depth[d]),
+            quantifier=None if d == 0 else Quantifier.NOT_EXISTS,
+            children=children,
+        )
+
+    root = make_node(0)
+    return LogicTree(root=root, select_items=(ColumnRef("t0", "a"),))
+
+
+def _subsets(items: tuple[str, ...]) -> Iterator[tuple[str, ...]]:
+    for size in range(len(items) + 1):
+        yield from combinations(items, size)

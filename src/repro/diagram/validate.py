@@ -1,0 +1,95 @@
+"""Structural validation of QueryVis diagrams.
+
+These checks encode the well-formedness conditions implied by the design in
+Section 4: every edge endpoint must exist, bounding boxes must be disjoint
+and non-empty, exactly one SELECT table must exist and it must never sit
+inside a box, and the SELECT table must only be connected by undirected,
+unlabelled edges.  They are used by the property-based tests to assert that
+every diagram the builder produces is well-formed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import Diagram
+
+
+class InvalidDiagramError(Exception):
+    """The diagram violates a structural well-formedness condition."""
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of :func:`validate_diagram` in non-raising mode."""
+
+    problems: tuple[str, ...]
+
+    @property
+    def is_valid(self) -> bool:
+        return not self.problems
+
+
+def validate_diagram(diagram: Diagram, raise_on_error: bool = True) -> ValidationReport:
+    """Check all structural invariants of ``diagram``."""
+    problems: list[str] = []
+    _check_tables(diagram, problems)
+    _check_boxes(diagram, problems)
+    _check_edges(diagram, problems)
+    report = ValidationReport(problems=tuple(problems))
+    if raise_on_error and problems:
+        raise InvalidDiagramError("; ".join(problems))
+    return report
+
+
+def _check_tables(diagram: Diagram, problems: list[str]) -> None:
+    ids = [table.table_id for table in diagram.tables]
+    if len(ids) != len(set(ids)):
+        problems.append("duplicate table ids")
+    select_tables = [table for table in diagram.tables if table.is_select]
+    if len(select_tables) != 1:
+        problems.append(f"expected exactly one SELECT table, found {len(select_tables)}")
+    elif select_tables[0].table_id != diagram.select_table_id:
+        problems.append("select_table_id does not point at the SELECT table")
+    for table in diagram.tables:
+        keys = [row.key.lower() for row in table.rows]
+        if len(keys) != len(set(keys)):
+            problems.append(f"table {table.table_id} has duplicate row keys")
+
+
+def _check_boxes(diagram: Diagram, problems: list[str]) -> None:
+    seen: set[str] = set()
+    for box in diagram.boxes:
+        if not box.table_ids:
+            problems.append(f"box {box.box_id} is empty")
+        overlap = seen & set(box.table_ids)
+        if overlap:
+            problems.append(f"tables {sorted(overlap)} appear in more than one box")
+        seen.update(box.table_ids)
+        for table_id in box.table_ids:
+            if not diagram.has_table(table_id):
+                problems.append(f"box {box.box_id} references unknown table {table_id}")
+            elif diagram.table(table_id).is_select:
+                problems.append("the SELECT table may not be inside a bounding box")
+
+
+def _check_edges(diagram: Diagram, problems: list[str]) -> None:
+    for edge in diagram.edges:
+        for endpoint in (edge.source, edge.target):
+            if not diagram.has_table(endpoint.table_id):
+                problems.append(f"edge references unknown table {endpoint.table_id}")
+                continue
+            table = diagram.table(endpoint.table_id)
+            if not table.has_row(endpoint.row_key):
+                problems.append(
+                    f"edge references unknown row {endpoint.row_key!r} of "
+                    f"table {endpoint.table_id}"
+                )
+        touches_select = diagram.select_table_id in (
+            edge.source.table_id,
+            edge.target.table_id,
+        )
+        if touches_select and (edge.directed or edge.operator is not None):
+            problems.append("SELECT-table edges must be undirected and unlabelled")
+        if edge.source == edge.target:
+            problems.append("self-loop edge")

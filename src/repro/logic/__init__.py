@@ -1,0 +1,36 @@
+"""Logic layer: Logic Trees, TRC rendering, simplification and evaluation."""
+
+from .errors import DegenerateQueryError, EvaluationError, LogicError, TranslationError
+from .evaluate import evaluate_logic_tree
+from .logic_tree import LogicTree, LogicTreeNode, Quantifier
+from .properties import (
+    MAX_SUPPORTED_DEPTH,
+    PropertyReport,
+    check_properties,
+    is_non_degenerate,
+    validate_for_diagram,
+)
+from .simplify import count_universal_nodes, simplify_logic_tree
+from .translate import sql_to_logic_tree
+from .trc import TRCExpression, logic_tree_to_trc
+
+__all__ = [
+    "DegenerateQueryError",
+    "EvaluationError",
+    "LogicError",
+    "LogicTree",
+    "LogicTreeNode",
+    "MAX_SUPPORTED_DEPTH",
+    "PropertyReport",
+    "Quantifier",
+    "TRCExpression",
+    "TranslationError",
+    "check_properties",
+    "count_universal_nodes",
+    "evaluate_logic_tree",
+    "is_non_degenerate",
+    "logic_tree_to_trc",
+    "simplify_logic_tree",
+    "sql_to_logic_tree",
+    "validate_for_diagram",
+]

@@ -1,0 +1,19 @@
+"""Exception types for the logic layer."""
+
+from __future__ import annotations
+
+
+class LogicError(Exception):
+    """Base class for logic-layer errors."""
+
+
+class TranslationError(LogicError):
+    """The SQL query cannot be translated into a Logic Tree."""
+
+
+class DegenerateQueryError(LogicError):
+    """The query violates a non-degeneracy property (Section 5.1)."""
+
+
+class EvaluationError(LogicError):
+    """The Logic Tree could not be evaluated over the given database."""

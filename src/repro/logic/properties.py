@@ -1,0 +1,151 @@
+"""Non-degeneracy properties of SQL queries (Section 5.1).
+
+Proposition 5.1 (unambiguity) only holds for *valid* diagrams, i.e. diagrams
+generated from non-degenerate queries of nesting depth at most three.  This
+module checks the two non-degeneracy properties on a Logic Tree:
+
+* **Property 5.1 (Local attributes)** — every predicate in a query block
+  references at least one attribute of a table defined in that same block.
+  A violating predicate could be pulled up to an ancestor block and actually
+  encodes a disjunction, which is outside the supported fragment.
+* **Property 5.2 (Connected subqueries)** — every nested query block either
+  has a predicate referencing an attribute of its parent block, or each of
+  its directly nested blocks references both it and its parent.
+
+`validate_for_diagram` combines both checks with the depth ≤ 3 restriction
+used by the unambiguity proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sql.ast import ColumnRef, Comparison
+from .errors import DegenerateQueryError
+from .logic_tree import LogicTree, LogicTreeNode
+
+#: Maximum nesting depth covered by the unambiguity proof (Section 5.2).
+MAX_SUPPORTED_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of the non-degeneracy checks."""
+
+    local_attributes: bool
+    connected_subqueries: bool
+    depth_ok: bool
+    violations: tuple[str, ...]
+
+    @property
+    def is_valid(self) -> bool:
+        return self.local_attributes and self.connected_subqueries and self.depth_ok
+
+
+def check_properties(tree: LogicTree) -> PropertyReport:
+    """Check Properties 5.1 and 5.2 plus the depth restriction on ``tree``."""
+    violations: list[str] = []
+    local_ok = _check_local_attributes(tree, violations)
+    connected_ok = _check_connected_subqueries(tree, violations)
+    depth_ok = tree.depth() <= MAX_SUPPORTED_DEPTH
+    if not depth_ok:
+        violations.append(
+            f"nesting depth {tree.depth()} exceeds the supported maximum of "
+            f"{MAX_SUPPORTED_DEPTH}"
+        )
+    return PropertyReport(
+        local_attributes=local_ok,
+        connected_subqueries=connected_ok,
+        depth_ok=depth_ok,
+        violations=tuple(violations),
+    )
+
+
+def validate_for_diagram(tree: LogicTree) -> None:
+    """Raise :class:`DegenerateQueryError` if ``tree`` is not diagram-valid."""
+    report = check_properties(tree)
+    if not report.is_valid:
+        raise DegenerateQueryError("; ".join(report.violations))
+
+
+def is_non_degenerate(tree: LogicTree) -> bool:
+    """True when both non-degeneracy properties hold (depth ignored)."""
+    report = check_properties(tree)
+    return report.local_attributes and report.connected_subqueries
+
+
+# ---------------------------------------------------------------------- #
+# Property 5.1 — local attributes
+# ---------------------------------------------------------------------- #
+
+
+def _check_local_attributes(tree: LogicTree, violations: list[str]) -> bool:
+    ok = True
+    for node in tree.iter_nodes():
+        local = node.local_aliases()
+        for predicate in node.predicates:
+            if not _references_any(predicate, local):
+                ok = False
+                violations.append(
+                    f"predicate '{predicate}' does not reference a local table "
+                    f"of its query block (Property 5.1)"
+                )
+    return ok
+
+
+def _references_any(predicate: Comparison, aliases: frozenset[str]) -> bool:
+    for operand in (predicate.left, predicate.right):
+        if isinstance(operand, ColumnRef) and operand.table is not None:
+            if operand.table.lower() in aliases:
+                return True
+        elif isinstance(operand, ColumnRef) and operand.table is None:
+            # Unqualified columns are conservatively treated as local: they
+            # can only be resolved against visible tables, and the parser of
+            # real study queries always qualifies cross-block references.
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------- #
+# Property 5.2 — connected subqueries
+# ---------------------------------------------------------------------- #
+
+
+def _check_connected_subqueries(tree: LogicTree, violations: list[str]) -> bool:
+    ok = True
+    for node, _depth in tree.iter_with_depth():
+        for child in node.children:
+            if _connected(child, parent=node):
+                continue
+            # Fallback clause of Property 5.2: every directly nested block of
+            # the child references both the child and the parent.
+            grandchildren = child.children
+            if grandchildren and all(
+                _references_aliases(gc, child.local_aliases())
+                and _references_aliases(gc, node.local_aliases())
+                for gc in grandchildren
+            ):
+                continue
+            ok = False
+            violations.append(
+                f"query block with tables {{{', '.join(str(t) for t in child.tables)}}} "
+                f"is not connected to its parent (Property 5.2)"
+            )
+    return ok
+
+
+def _connected(child: LogicTreeNode, parent: LogicTreeNode) -> bool:
+    """True if ``child`` has a predicate referencing an attribute of ``parent``."""
+    return _references_aliases(child, parent.local_aliases())
+
+
+def _references_aliases(node: LogicTreeNode, aliases: frozenset[str]) -> bool:
+    for predicate in node.predicates:
+        for operand in (predicate.left, predicate.right):
+            if (
+                isinstance(operand, ColumnRef)
+                and operand.table is not None
+                and operand.table.lower() in aliases
+            ):
+                return True
+    return False

@@ -1,0 +1,60 @@
+"""Logic simplification: ∄∄ → ∀∃ (Section 4.7, "Logic Simplifications").
+
+SQL expresses universal quantification through double negation
+(``NOT EXISTS ... NOT EXISTS``).  The Logic Tree makes it possible to undo
+that encoding: if a node ψ has quantifier ∄ and exactly one child ψ′ that is
+also ∄, then by De Morgan's law
+
+    ¬∃S.(p₁ ∧ … ∧ p_k ∧ ¬∃T.(q₁ ∧ … ∧ q_ℓ))
+  ≡ ∀S.((p₁ ∧ … ∧ p_k) → ∃T.(q₁ ∧ … ∧ q_ℓ))
+
+so ψ can be rewritten to ∀ and ψ′ to ∃.  The pass applies the rewrite
+top-down (outermost pair first), which turns e.g. the unique-set query of
+Fig. 1 into the ∀ form shown in Fig. 10b / Fig. 12b, and Q_only of Fig. 3b
+into the ∀ diagram of Fig. 2c.  In a chain of three or more ∄ nodes the
+rewrites cannot all be applied simultaneously (rewriting a pair changes the
+quantifiers the next pair would need); applying them outermost-first matches
+the reading order the diagrams are optimised for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .logic_tree import LogicTree, LogicTreeNode, Quantifier
+
+
+def simplify_logic_tree(tree: LogicTree) -> LogicTree:
+    """Return a new tree with the ∄∄ → ∀∃ rewrite applied top-down."""
+    new_root = tree.root.with_children(
+        tuple(_simplify_node(child) for child in tree.root.children)
+    )
+    return replace(tree, root=new_root)
+
+
+def count_universal_nodes(tree: LogicTree) -> int:
+    """Number of ∀ nodes in ``tree`` (useful to measure the simplification)."""
+    return sum(1 for node in tree.iter_nodes() if node.quantifier is Quantifier.FOR_ALL)
+
+
+# ---------------------------------------------------------------------- #
+# internals
+# ---------------------------------------------------------------------- #
+
+
+def _simplify_node(node: LogicTreeNode) -> LogicTreeNode:
+    if _rewrite_applicable(node):
+        child = node.children[0]
+        child = child.with_quantifier(Quantifier.EXISTS)
+        node = replace(node, quantifier=Quantifier.FOR_ALL, children=(child,))
+    children = tuple(_simplify_node(child) for child in node.children)
+    return node.with_children(children)
+
+
+def _rewrite_applicable(node: LogicTreeNode) -> bool:
+    """True when the ∄∄ → ∀∃ rewrite applies at ``node``."""
+    if node.quantifier is not Quantifier.NOT_EXISTS:
+        return False
+    if len(node.children) != 1:
+        return False
+    return node.children[0].quantifier is Quantifier.NOT_EXISTS

@@ -1,0 +1,125 @@
+"""SQL AST → Logic Tree translation (Section 4.7).
+
+The translation removes the syntactic variety of SQL's subquery operators:
+``[NOT] EXISTS``, ``[NOT] IN`` and ``op ANY/ALL`` all become child Logic Tree
+nodes with an ∃ or ∄ quantifier plus an ordinary comparison predicate linking
+the outer column to the subquery's select column.  This is exactly why
+Fig. 24's three syntactic variants of "sailors who reserve only red boats"
+yield the same Logic Tree and hence the same diagram.
+
+Universal quantification never appears at this stage — SQL cannot express it
+directly — it is introduced by :mod:`repro.logic.simplify`.
+"""
+
+from __future__ import annotations
+
+from ..sql.ast import (
+    AggregateCall,
+    ColumnRef,
+    Comparison,
+    Exists,
+    InSubquery,
+    NEGATED_OP,
+    QuantifiedComparison,
+    SelectQuery,
+    Star,
+)
+from .errors import TranslationError
+from .logic_tree import LogicTree, LogicTreeNode, Quantifier
+
+
+def sql_to_logic_tree(query: SelectQuery) -> LogicTree:
+    """Translate a parsed SQL query into its Logic Tree."""
+    select_items = _root_select_items(query)
+    root = LogicTreeNode(
+        tables=query.from_tables,
+        predicates=tuple(query.comparisons()),
+        quantifier=None,
+        children=tuple(_translate_subquery(p) for p in query.subquery_predicates()),
+    )
+    return LogicTree(root=root, select_items=select_items, group_by=query.group_by)
+
+
+# ---------------------------------------------------------------------- #
+# internals
+# ---------------------------------------------------------------------- #
+
+
+def _root_select_items(query: SelectQuery) -> tuple[ColumnRef | AggregateCall, ...]:
+    items: list[ColumnRef | AggregateCall] = []
+    for item in query.select_items:
+        if isinstance(item, Star):
+            raise TranslationError(
+                "the root query block must select explicit attributes, not *"
+            )
+        items.append(item)
+    return tuple(items)
+
+
+def _translate_subquery(predicate) -> LogicTreeNode:
+    if isinstance(predicate, Exists):
+        quantifier = Quantifier.NOT_EXISTS if predicate.negated else Quantifier.EXISTS
+        return _translate_block(predicate.query, quantifier, extra_predicates=())
+    if isinstance(predicate, InSubquery):
+        quantifier = Quantifier.NOT_EXISTS if predicate.negated else Quantifier.EXISTS
+        link = Comparison(predicate.column, "=", _subquery_column(predicate.query))
+        return _translate_block(predicate.query, quantifier, extra_predicates=(link,))
+    if isinstance(predicate, QuantifiedComparison):
+        return _translate_quantified(predicate)
+    raise TranslationError(f"unexpected subquery predicate: {predicate!r}")
+
+
+def _translate_quantified(predicate: QuantifiedComparison) -> LogicTreeNode:
+    column = _subquery_column(predicate.query)
+    if predicate.quantifier == "ANY":
+        # c op ANY (Q)      ≡ ∃x∈Q. c op x
+        # NOT c op ANY (Q)  ≡ ∄x∈Q. c op x
+        quantifier = Quantifier.NOT_EXISTS if predicate.negated else Quantifier.EXISTS
+        link = Comparison(predicate.column, predicate.op, column)
+    else:  # ALL
+        # c op ALL (Q)      ≡ ∀x∈Q. c op x      ≡ ∄x∈Q. ¬(c op x)
+        # NOT c op ALL (Q)  ≡ ∃x∈Q. ¬(c op x)
+        negated_op = NEGATED_OP[predicate.op]
+        quantifier = Quantifier.EXISTS if predicate.negated else Quantifier.NOT_EXISTS
+        link = Comparison(predicate.column, negated_op, column)
+    return _translate_block(predicate.query, quantifier, extra_predicates=(link,))
+
+
+def _translate_block(
+    query: SelectQuery,
+    quantifier: Quantifier,
+    extra_predicates: tuple[Comparison, ...],
+) -> LogicTreeNode:
+    if query.group_by or query.has_aggregates:
+        raise TranslationError("nested query blocks may not use GROUP BY or aggregates")
+    predicates = tuple(query.comparisons()) + extra_predicates
+    children = tuple(_translate_subquery(p) for p in query.subquery_predicates())
+    return LogicTreeNode(
+        tables=query.from_tables,
+        predicates=predicates,
+        quantifier=quantifier,
+        children=children,
+    )
+
+
+def _subquery_column(query: SelectQuery) -> ColumnRef:
+    """The single column selected by an IN / ANY / ALL subquery."""
+    if len(query.select_items) != 1:
+        raise TranslationError(
+            "IN / ANY / ALL subqueries must select exactly one column"
+        )
+    item = query.select_items[0]
+    if not isinstance(item, ColumnRef):
+        raise TranslationError(
+            "IN / ANY / ALL subqueries must select a plain column, "
+            f"got {item!r}"
+        )
+    if item.table is None:
+        # Qualify the column against the (single) local table when possible,
+        # so that later stages can attribute the predicate to a table.
+        if len(query.from_tables) == 1:
+            return ColumnRef(query.from_tables[0].effective_alias, item.column)
+        raise TranslationError(
+            "unqualified select column in a multi-table subquery is ambiguous"
+        )
+    return item

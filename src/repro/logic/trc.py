@@ -1,0 +1,111 @@
+"""Tuple relational calculus (TRC) rendering of a Logic Tree (Fig. 9).
+
+The Logic Tree and the TRC expression of a query carry the same information;
+the TRC form is simply a textual rendering with explicit quantifiers and
+brackets.  :func:`logic_tree_to_trc` produces the expression in the notation
+of Fig. 9, e.g. for the unique-set query::
+
+    {Q | ∃L1 ∈ Likes [L1.drinker = Q.drinker ∧ ∄L2 ∈ Likes [ ... ]]}
+
+The rendering is deterministic (tables and predicates in tree order) so it
+can be compared in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sql.ast import AggregateCall, ColumnRef
+from .logic_tree import LogicTree, LogicTreeNode, Quantifier
+
+_QUANTIFIER_SYMBOL = {
+    Quantifier.EXISTS: "∃",
+    Quantifier.NOT_EXISTS: "∄",
+    Quantifier.FOR_ALL: "∀",
+    None: "∃",
+}
+
+
+@dataclass(frozen=True)
+class TRCExpression:
+    """A rendered TRC expression plus a few structural counts."""
+
+    text: str
+    quantifier_count: int
+    predicate_count: int
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def logic_tree_to_trc(tree: LogicTree, result_variable: str = "Q") -> TRCExpression:
+    """Render ``tree`` as a TRC expression in the notation of Fig. 9."""
+    head = _render_head(tree, result_variable)
+    body = _render_node(tree.root, tree, result_variable)
+    text = f"{{{head} | {body}}}"
+    quantifier_count = tree.node_count()
+    predicate_count = sum(len(node.predicates) for node in tree.iter_nodes())
+    # The head projection adds one equality per selected attribute.
+    predicate_count += len(tree.select_items)
+    return TRCExpression(
+        text=text,
+        quantifier_count=quantifier_count,
+        predicate_count=predicate_count,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# internals
+# ---------------------------------------------------------------------- #
+
+
+def _render_head(tree: LogicTree, result_variable: str) -> str:
+    if not tree.select_items:
+        return result_variable
+    parts = []
+    for item in tree.select_items:
+        if isinstance(item, AggregateCall):
+            parts.append(str(item))
+        else:
+            parts.append(str(item))
+    return ", ".join(parts) if len(parts) > 1 else parts[0]
+
+
+def _render_node(node: LogicTreeNode, tree: LogicTree, result_variable: str) -> str:
+    """Render the root node: existential quantifiers over its tables."""
+    conjuncts = [str(predicate) for predicate in node.predicates]
+    conjuncts.extend(_render_child(child) for child in node.children)
+    body = " ∧ ".join(conjuncts) if conjuncts else "true"
+    rendered = body
+    # Root tables are existentially quantified, innermost first.
+    for table in reversed(node.tables):
+        alias = table.effective_alias
+        rendered = f"∃{alias} ∈ {table.name} [{rendered}]"
+    return rendered
+
+
+def _render_child(node: LogicTreeNode) -> str:
+    conjuncts = [str(predicate) for predicate in node.predicates]
+    conjuncts.extend(_render_child(child) for child in node.children)
+    body = " ∧ ".join(conjuncts) if conjuncts else "true"
+    symbol = _QUANTIFIER_SYMBOL[node.quantifier]
+    rendered = body
+    tables = list(node.tables)
+    if not tables:
+        return rendered
+    if node.quantifier is Quantifier.FOR_ALL:
+        # A ∀ block quantifies every one of its tables universally
+        # (it arose from ¬∃ over the combination of those tables).
+        for table in reversed(tables):
+            alias = table.effective_alias
+            rendered = f"∀{alias} ∈ {table.name} [{rendered}]"
+        return rendered
+    # For ∃/∄ blocks the block quantifier applies to the first table;
+    # additional tables of the same block are existentially quantified inside
+    # it (¬∃ over a combination ≡ ∄ first ∃ rest).
+    for table in reversed(tables[1:]):
+        alias = table.effective_alias
+        rendered = f"∃{alias} ∈ {table.name} [{rendered}]"
+    first = tables[0]
+    rendered = f"{symbol}{first.effective_alias} ∈ {first.name} [{rendered}]"
+    return rendered

@@ -1,0 +1,130 @@
+"""The example queries used throughout the paper, as reusable constants.
+
+Having the running examples in the library (rather than only in tests) lets
+examples, benchmarks and downstream users reproduce the paper's figures with
+one import:
+
+* :data:`UNIQUE_SET_SQL` — the unique-set query of Fig. 1a;
+* :data:`Q_SOME_SQL` / :data:`Q_ONLY_SQL` — Figs. 3a/3b;
+* :data:`FIG24_VARIANTS` — the three syntactic variants of "sailors who
+  reserve only red boats" (Fig. 24);
+* :func:`pattern_query` — the no / only / all pattern over the three
+  Fig. 22 schemas (Figs. 23/25).
+"""
+
+from __future__ import annotations
+
+UNIQUE_SET_SQL = """
+SELECT L1.drinker
+FROM Likes L1
+WHERE NOT EXISTS(
+    SELECT * FROM Likes L2
+    WHERE L1.drinker <> L2.drinker
+    AND NOT EXISTS(
+        SELECT * FROM Likes L3
+        WHERE L3.drinker = L2.drinker
+        AND NOT EXISTS(
+            SELECT * FROM Likes L4
+            WHERE L4.drinker = L1.drinker AND L4.beer = L3.beer))
+    AND NOT EXISTS(
+        SELECT * FROM Likes L5
+        WHERE L5.drinker = L1.drinker
+        AND NOT EXISTS(
+            SELECT * FROM Likes L6
+            WHERE L6.drinker = L2.drinker AND L6.beer = L5.beer)))
+"""
+
+Q_SOME_SQL = """
+SELECT F.person
+FROM Frequents F, Likes L, Serves S
+WHERE F.person = L.person
+AND F.bar = S.bar
+AND L.drink = S.drink
+"""
+
+Q_ONLY_SQL = """
+SELECT F.person
+FROM Frequents F
+WHERE NOT EXISTS
+   (SELECT *
+    FROM Serves S
+    WHERE S.bar = F.bar
+    AND NOT EXISTS
+       (SELECT L.drink
+        FROM Likes L
+        WHERE L.person = F.person
+        AND S.drink = L.drink))
+"""
+
+#: Fig. 24 — three semantically equivalent spellings of "only red boats".
+FIG24_VARIANTS: tuple[str, ...] = (
+    """
+SELECT S.sname FROM Sailor S
+WHERE NOT EXISTS(
+    SELECT * FROM Reserves R WHERE R.sid = S.sid
+    AND NOT EXISTS(
+        SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))
+""",
+    """
+SELECT S.sname FROM Sailor S
+WHERE S.sid NOT IN(
+    SELECT R.sid FROM Reserves R
+    WHERE R.bid NOT IN(
+        SELECT B.bid FROM Boat B WHERE B.color = 'red'))
+""",
+    """
+SELECT S.sname FROM Sailor S
+WHERE NOT S.sid = ANY(
+    SELECT R.sid FROM Reserves R
+    WHERE NOT R.bid = ANY(
+        SELECT B.bid FROM Boat B WHERE B.color = 'red'))
+""",
+)
+
+#: The three schemas of Fig. 22, as template parameters for pattern_query().
+PATTERN_SCHEMAS: dict[str, dict[str, str]] = {
+    "sailors": dict(entity="Sailor", link="Reserves", target="Boat", ekey="sid",
+                    tkey="bid", column="color", value="red", select="sname"),
+    "students": dict(entity="Student", link="Takes", target="Class", ekey="sid",
+                     tkey="cid", column="department", value="art", select="sname"),
+    "actors": dict(entity="Actor", link="Casts", target="Movie", ekey="aid",
+                   tkey="mid", column="director", value="Hitchcock", select="aname"),
+}
+
+
+def pattern_query(kind: str, schema: str) -> str:
+    """Return the Fig. 23/25 query for a pattern kind on one of the schemas.
+
+    ``kind`` is ``"no"``, ``"only"`` or ``"all"``; ``schema`` is ``"sailors"``,
+    ``"students"`` or ``"actors"``.
+    """
+    spec = PATTERN_SCHEMAS[schema]
+    if kind == "no":
+        return f"""
+SELECT S.{spec['select']} FROM {spec['entity']} S
+WHERE NOT EXISTS(
+    SELECT * FROM {spec['link']} R WHERE R.{spec['ekey']} = S.{spec['ekey']}
+    AND EXISTS(
+        SELECT * FROM {spec['target']} B
+        WHERE B.{spec['column']} = '{spec['value']}' AND R.{spec['tkey']} = B.{spec['tkey']}))
+"""
+    if kind == "only":
+        return f"""
+SELECT S.{spec['select']} FROM {spec['entity']} S
+WHERE NOT EXISTS(
+    SELECT * FROM {spec['link']} R WHERE R.{spec['ekey']} = S.{spec['ekey']}
+    AND NOT EXISTS(
+        SELECT * FROM {spec['target']} B
+        WHERE B.{spec['column']} = '{spec['value']}' AND R.{spec['tkey']} = B.{spec['tkey']}))
+"""
+    if kind == "all":
+        return f"""
+SELECT S.{spec['select']} FROM {spec['entity']} S
+WHERE NOT EXISTS(
+    SELECT * FROM {spec['target']} B
+    WHERE B.{spec['column']} = '{spec['value']}'
+    AND NOT EXISTS(
+        SELECT * FROM {spec['link']} R
+        WHERE R.{spec['tkey']} = B.{spec['tkey']} AND R.{spec['ekey']} = S.{spec['ekey']}))
+"""
+    raise ValueError(f"unknown pattern kind {kind!r}")

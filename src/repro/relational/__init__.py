@@ -1,0 +1,32 @@
+"""In-memory relational engine: database, executor and aggregates."""
+
+from .aggregates import AGGREGATES, apply_aggregate
+from .database import Database, Relation, Row
+from .errors import (
+    AmbiguousColumnError,
+    EngineError,
+    TypeMismatchError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from .executor import Executor, ResultSet, execute
+from .values import Value, compare, values_comparable
+
+__all__ = [
+    "AGGREGATES",
+    "AmbiguousColumnError",
+    "Database",
+    "EngineError",
+    "Executor",
+    "Relation",
+    "ResultSet",
+    "Row",
+    "TypeMismatchError",
+    "UnknownColumnError",
+    "UnknownTableError",
+    "Value",
+    "apply_aggregate",
+    "compare",
+    "execute",
+    "values_comparable",
+]

@@ -1,0 +1,54 @@
+"""Aggregate functions for the GROUP BY extension (Appendix C.3)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .errors import EngineError
+from .values import Value
+
+
+def _require_values(name: str, values: Sequence[Value]) -> Sequence[Value]:
+    if not values:
+        raise EngineError(f"{name} over an empty group is undefined without NULLs")
+    return values
+
+
+def agg_count(values: Sequence[Value]) -> int:
+    """COUNT(expr) — number of values (no NULLs in the supported fragment)."""
+    return len(values)
+
+
+def agg_sum(values: Sequence[Value]) -> Value:
+    return sum(_require_values("SUM", values))  # type: ignore[arg-type]
+
+
+def agg_avg(values: Sequence[Value]) -> float:
+    values = _require_values("AVG", values)
+    return sum(values) / len(values)  # type: ignore[arg-type]
+
+
+def agg_min(values: Sequence[Value]) -> Value:
+    return min(_require_values("MIN", values))
+
+
+def agg_max(values: Sequence[Value]) -> Value:
+    return max(_require_values("MAX", values))
+
+
+AGGREGATES: dict[str, Callable[[Sequence[Value]], Value]] = {
+    "COUNT": agg_count,
+    "SUM": agg_sum,
+    "AVG": agg_avg,
+    "MIN": agg_min,
+    "MAX": agg_max,
+}
+
+
+def apply_aggregate(func: str, values: Sequence[Value]) -> Value:
+    """Apply the aggregate called ``func`` to ``values``."""
+    try:
+        implementation = AGGREGATES[func.upper()]
+    except KeyError:
+        raise EngineError(f"unknown aggregate function {func!r}") from None
+    return implementation(values)

@@ -1,0 +1,23 @@
+"""Exception types for the in-memory relational engine."""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for relational-engine errors."""
+
+
+class UnknownTableError(EngineError):
+    """A query references a table that is not loaded in the database."""
+
+
+class UnknownColumnError(EngineError):
+    """A column reference cannot be resolved against any visible table."""
+
+
+class AmbiguousColumnError(EngineError):
+    """An unqualified column reference matches more than one visible table."""
+
+
+class TypeMismatchError(EngineError):
+    """Two values of incomparable types were compared (e.g. str vs int)."""

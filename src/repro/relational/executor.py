@@ -1,0 +1,359 @@
+"""SQL executor for the supported fragment.
+
+The executor evaluates a :class:`~repro.sql.ast.SelectQuery` over a
+:class:`~repro.relational.database.Database` using straightforward
+nested-loop semantics:
+
+* the FROM clause enumerates the cartesian product of its tables;
+* WHERE predicates are evaluated per combination, with correlated subqueries
+  receiving the outer bindings through an environment of scopes;
+* ``EXISTS`` / ``IN`` / ``ANY`` / ``ALL`` follow standard SQL semantics
+  restricted to 2-valued logic (no NULLs);
+* the result uses *set semantics* (duplicate result tuples are collapsed)
+  unless the query carries aggregates, in which case GROUP BY semantics
+  apply (Appendix C.3 extension).
+
+Performance is not a goal — the executor exists so the logic layer and the
+diagram layer can be checked against ground-truth SQL semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Sequence
+
+from ..sql.ast import (
+    AggregateCall,
+    ColumnRef,
+    Comparison,
+    Exists,
+    InSubquery,
+    Literal,
+    Predicate,
+    QuantifiedComparison,
+    SelectQuery,
+    Star,
+)
+from .aggregates import apply_aggregate
+from .database import Database, Relation, Row
+from .errors import AmbiguousColumnError, EngineError, UnknownColumnError
+from .values import Value, compare
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """The result of executing a query: column labels plus result rows."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Value, ...], ...]
+
+    def as_set(self) -> frozenset[tuple[Value, ...]]:
+        """The rows as a set (the comparison used in equivalence checks)."""
+        return frozenset(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: tuple[Value, ...]) -> bool:
+        return row in self.rows
+
+
+class _Scope:
+    """One query block's bindings: alias (lower-cased) -> (relation, row)."""
+
+    def __init__(self) -> None:
+        self.bindings: dict[str, tuple[Relation, Row]] = {}
+
+    def bind(self, alias: str, relation: Relation, row: Row) -> None:
+        self.bindings[alias.lower()] = (relation, row)
+
+
+class _Environment:
+    """A stack of scopes, innermost last, used to resolve column references."""
+
+    def __init__(self, scopes: Sequence[_Scope] = ()) -> None:
+        self._scopes = list(scopes)
+
+    def child(self, scope: _Scope) -> "_Environment":
+        return _Environment([*self._scopes, scope])
+
+    def resolve(self, column: ColumnRef) -> Value:
+        if column.table is not None:
+            return self._resolve_qualified(column)
+        return self._resolve_unqualified(column)
+
+    def _resolve_qualified(self, column: ColumnRef) -> Value:
+        alias = column.table.lower()
+        for scope in reversed(self._scopes):
+            binding = scope.bindings.get(alias)
+            if binding is None:
+                continue
+            relation, row = binding
+            key = _match_column(relation, column.column)
+            if key is None:
+                raise UnknownColumnError(
+                    f"table {column.table} has no column {column.column!r}"
+                )
+            return row[key]
+        raise UnknownColumnError(f"unknown table alias {column.table!r}")
+
+    def _resolve_unqualified(self, column: ColumnRef) -> Value:
+        for scope in reversed(self._scopes):
+            matches = []
+            for relation, row in scope.bindings.values():
+                key = _match_column(relation, column.column)
+                if key is not None:
+                    matches.append(row[key])
+            if len(matches) > 1:
+                raise AmbiguousColumnError(
+                    f"column {column.column!r} is ambiguous in this scope"
+                )
+            if matches:
+                return matches[0]
+        raise UnknownColumnError(f"unknown column {column.column!r}")
+
+
+def _match_column(relation: Relation, column: str) -> str | None:
+    lowered = column.lower()
+    for key in relation.columns:
+        if key.lower() == lowered:
+            return key
+    return None
+
+
+class Executor:
+    """Evaluates queries of the supported fragment against a database."""
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def execute(self, query: SelectQuery) -> ResultSet:
+        """Execute ``query`` and return its result set."""
+        return self._execute_block(query, _Environment())
+
+    # ------------------------------------------------------------------ #
+    # block evaluation
+    # ------------------------------------------------------------------ #
+
+    def _execute_block(self, query: SelectQuery, outer: _Environment) -> ResultSet:
+        matches = list(self._matching_environments(query, outer))
+        if query.has_aggregates or query.group_by:
+            return self._project_grouped(query, matches)
+        return self._project_plain(query, matches)
+
+    def _matching_environments(
+        self, query: SelectQuery, outer: _Environment
+    ) -> Iterator[_Environment]:
+        """Enumerate bindings of the FROM tables that satisfy the WHERE clause.
+
+        The join is a nested loop, but comparison predicates are evaluated as
+        soon as every table they reference is bound ("predicate pushdown").
+        Without this, the 10-table conjunctive queries of the user study
+        (e.g. Q3) would enumerate the full cartesian product.  Subquery
+        predicates are evaluated once the whole block is bound.
+        """
+        relations = [self._db.relation(table.name) for table in query.from_tables]
+        aliases = [table.effective_alias for table in query.from_tables]
+        local_aliases = {alias.lower() for alias in aliases}
+        comparisons = [p for p in query.where if isinstance(p, Comparison)]
+        subqueries = [p for p in query.where if not isinstance(p, Comparison)]
+        staged: list[list[Comparison]] = [[] for _ in aliases]
+        prechecks: list[Comparison] = []
+        for predicate in comparisons:
+            position = self._pushdown_position(predicate, aliases, local_aliases)
+            if position is None:
+                prechecks.append(predicate)
+            else:
+                staged[position].append(predicate)
+
+        if not all(self._evaluate_predicate(p, outer) for p in prechecks):
+            return
+
+        def extend(index: int, env: _Environment) -> Iterator[_Environment]:
+            if index == len(relations):
+                if all(self._evaluate_predicate(p, env) for p in subqueries):
+                    yield env
+                return
+            relation = relations[index]
+            alias = aliases[index]
+            for row in relation.rows:
+                scope = _Scope()
+                scope.bind(alias, relation, row)
+                candidate = env.child(scope)
+                if all(self._evaluate_predicate(p, candidate) for p in staged[index]):
+                    yield from extend(index + 1, candidate)
+
+        yield from extend(0, outer)
+
+    @staticmethod
+    def _pushdown_position(
+        predicate: Comparison, aliases: list[str], local_aliases: set[str]
+    ) -> int | None:
+        """Earliest FROM position after which ``predicate`` can be evaluated.
+
+        Returns ``None`` when the predicate only references outer tables (it
+        can be checked before binding anything locally).  Unqualified column
+        references are conservatively deferred to the last position.
+        """
+        last_required = None
+        for operand in (predicate.left, predicate.right):
+            if not isinstance(operand, ColumnRef):
+                continue
+            if operand.table is None:
+                return len(aliases) - 1
+            lowered = operand.table.lower()
+            if lowered not in local_aliases:
+                continue
+            position = next(
+                index for index, alias in enumerate(aliases) if alias.lower() == lowered
+            )
+            last_required = position if last_required is None else max(last_required, position)
+        return last_required
+
+    # ------------------------------------------------------------------ #
+    # predicates
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_predicate(self, predicate: Predicate, env: _Environment) -> bool:
+        if isinstance(predicate, Comparison):
+            left = self._operand_value(predicate.left, env)
+            right = self._operand_value(predicate.right, env)
+            return compare(left, predicate.op, right)
+        if isinstance(predicate, Exists):
+            result = self._execute_block(predicate.query, env)
+            found = len(result) > 0
+            return not found if predicate.negated else found
+        if isinstance(predicate, InSubquery):
+            value = env.resolve(predicate.column)
+            members = self._single_column_values(predicate.query, env)
+            found = any(compare(value, "=", member) for member in members)
+            return not found if predicate.negated else found
+        if isinstance(predicate, QuantifiedComparison):
+            value = env.resolve(predicate.column)
+            members = self._single_column_values(predicate.query, env)
+            if predicate.quantifier == "ANY":
+                holds = any(compare(value, predicate.op, m) for m in members)
+            else:  # ALL
+                holds = all(compare(value, predicate.op, m) for m in members)
+            return not holds if predicate.negated else holds
+        raise EngineError(f"unsupported predicate type: {type(predicate).__name__}")
+
+    def _single_column_values(
+        self, query: SelectQuery, env: _Environment
+    ) -> list[Value]:
+        result = self._execute_block(query, env)
+        if len(result.columns) != 1:
+            raise EngineError(
+                "IN / ANY / ALL subqueries must return exactly one column, "
+                f"got {len(result.columns)}"
+            )
+        return [row[0] for row in result.rows]
+
+    def _operand_value(self, operand: ColumnRef | Literal, env: _Environment) -> Value:
+        if isinstance(operand, Literal):
+            return operand.value
+        return env.resolve(operand)
+
+    # ------------------------------------------------------------------ #
+    # projection
+    # ------------------------------------------------------------------ #
+
+    def _project_plain(
+        self, query: SelectQuery, matches: list[_Environment]
+    ) -> ResultSet:
+        columns = self._result_columns(query)
+        seen: set[tuple[Value, ...]] = set()
+        rows: list[tuple[Value, ...]] = []
+        for env in matches:
+            row = self._project_row(query, env)
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return ResultSet(columns=columns, rows=tuple(rows))
+
+    def _project_row(self, query: SelectQuery, env: _Environment) -> tuple[Value, ...]:
+        if query.is_select_star:
+            values: list[Value] = []
+            # SELECT * projects all columns of the block's own tables, in
+            # FROM-clause order.  The block's tables occupy the innermost
+            # scopes (one scope per table).  Only used by EXISTS subqueries.
+            own_scopes = env._scopes[-len(query.from_tables) :]  # noqa: SLF001
+            for scope in own_scopes:
+                for relation, row in scope.bindings.values():
+                    values.extend(row[column] for column in relation.columns)
+            return tuple(values)
+        values = []
+        for item in query.select_items:
+            if isinstance(item, ColumnRef):
+                values.append(env.resolve(item))
+            else:
+                raise EngineError(
+                    "aggregate select items require GROUP BY handling"
+                )
+        return tuple(values)
+
+    def _project_grouped(
+        self, query: SelectQuery, matches: list[_Environment]
+    ) -> ResultSet:
+        columns = self._result_columns(query)
+        groups: dict[tuple[Value, ...], list[_Environment]] = {}
+        order: list[tuple[Value, ...]] = []
+        for env in matches:
+            key = tuple(env.resolve(column) for column in query.group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(env)
+        rows: list[tuple[Value, ...]] = []
+        for key in order:
+            group_envs = groups[key]
+            row: list[Value] = []
+            for item in query.select_items:
+                if isinstance(item, ColumnRef):
+                    if item not in query.group_by and not self._matches_group_key(
+                        item, query
+                    ):
+                        raise EngineError(
+                            f"column {item} must appear in GROUP BY to be selected"
+                        )
+                    row.append(group_envs[0].resolve(item))
+                elif isinstance(item, AggregateCall):
+                    row.append(self._aggregate_value(item, group_envs))
+                else:
+                    raise EngineError("SELECT * cannot be combined with GROUP BY")
+            rows.append(tuple(row))
+        return ResultSet(columns=columns, rows=tuple(rows))
+
+    def _matches_group_key(self, column: ColumnRef, query: SelectQuery) -> bool:
+        return any(
+            column.column.lower() == group.column.lower()
+            and (column.table is None or group.table is None or column.table.lower() == group.table.lower())
+            for group in query.group_by
+        )
+
+    def _aggregate_value(
+        self, item: AggregateCall, group_envs: list[_Environment]
+    ) -> Value:
+        if isinstance(item.argument, Star):
+            return apply_aggregate("COUNT", [1] * len(group_envs))
+        values = [env.resolve(item.argument) for env in group_envs]
+        return apply_aggregate(item.func, values)
+
+    def _result_columns(self, query: SelectQuery) -> tuple[str, ...]:
+        if query.is_select_star:
+            names: list[str] = []
+            for table in query.from_tables:
+                relation = self._db.relation(table.name)
+                names.extend(f"{table.effective_alias}.{c}" for c in relation.columns)
+            return tuple(names)
+        return tuple(str(item) for item in query.select_items)
+
+
+def execute(query: SelectQuery, database: Database) -> ResultSet:
+    """Convenience wrapper around :class:`Executor`."""
+    return Executor(database).execute(query)

@@ -1,0 +1,53 @@
+"""Value comparison semantics for the relational engine.
+
+The supported fragment uses 2-valued logic without NULLs (Section 4.7), so
+comparisons are total within a type family: numbers compare numerically,
+strings compare lexicographically, and comparing a number with a string is a
+type error rather than silently false.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .errors import TypeMismatchError
+
+Value = Union[int, float, str]
+
+_NUMERIC_TYPES = (int, float)
+
+
+def values_comparable(left: Value, right: Value) -> bool:
+    """Return True if the two values belong to the same comparison family."""
+    if isinstance(left, _NUMERIC_TYPES) and isinstance(right, _NUMERIC_TYPES):
+        return True
+    return isinstance(left, str) and isinstance(right, str)
+
+
+def compare(left: Value, op: str, right: Value) -> bool:
+    """Apply a comparison operator from the supported fragment.
+
+    Raises
+    ------
+    TypeMismatchError
+        When ``left`` and ``right`` are not comparable (e.g. str vs number).
+    ValueError
+        When ``op`` is not one of the six supported operators.
+    """
+    if not values_comparable(left, right):
+        raise TypeMismatchError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        )
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ValueError(f"unsupported operator {op!r}")

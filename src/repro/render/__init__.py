@@ -1,0 +1,16 @@
+"""Renderers: GraphViz DOT, standalone SVG and plain-text output."""
+
+from .ascii_art import diagram_summary, diagram_to_text
+from .dot import diagram_to_dot
+from .layout import Layout, TablePlacement, layout_diagram
+from .svg import diagram_to_svg
+
+__all__ = [
+    "Layout",
+    "TablePlacement",
+    "diagram_summary",
+    "diagram_to_dot",
+    "diagram_to_svg",
+    "diagram_to_text",
+    "layout_diagram",
+]

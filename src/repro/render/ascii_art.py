@@ -1,0 +1,58 @@
+"""Plain-text rendering of QueryVis diagrams for terminals and tests.
+
+The ASCII renderer does not attempt 2-D layout; it prints the diagram in
+reading order (Section 4.6): each table with its quantifier box style and
+rows, followed by the list of edges written as ``source.row -op-> target.row``.
+This keeps golden-file tests readable and lets the examples show diagrams in
+a terminal without any graphics stack.
+"""
+
+from __future__ import annotations
+
+from ..diagram.model import BoxStyle, Diagram, RowKind
+
+_ROW_PREFIX = {
+    RowKind.ATTRIBUTE: "",
+    RowKind.SELECTION: "σ ",
+    RowKind.GROUP_BY: "γ ",
+    RowKind.AGGREGATE: "Σ ",
+}
+
+
+def diagram_to_text(diagram: Diagram) -> str:
+    """Render ``diagram`` as readable plain text."""
+    lines: list[str] = []
+    order = diagram.reading_order()
+    for table_id in order:
+        table = diagram.table(table_id)
+        box = diagram.box_of(table_id)
+        quantifier = ""
+        if box is not None:
+            symbol = "∄" if box.style is BoxStyle.NOT_EXISTS else "∀"
+            quantifier = f"  [{symbol}]"
+        header = f"┌─ {table.name}{quantifier}"
+        if table.alias and table.alias != table.name:
+            header += f"  (alias {table.alias})"
+        lines.append(header)
+        for row in table.rows:
+            prefix = _ROW_PREFIX[row.kind]
+            lines.append(f"│   {prefix}{row.label}")
+        lines.append("└─")
+    lines.append("")
+    lines.append("edges:")
+    for edge in diagram.edges:
+        connector = "──>" if edge.directed else "───"
+        operator = f" [{edge.operator}]" if edge.operator else ""
+        lines.append(
+            f"  {edge.source.table_id}.{edge.source.row_key} {connector} "
+            f"{edge.target.table_id}.{edge.target.row_key}{operator}"
+        )
+    return "\n".join(lines)
+
+
+def diagram_summary(diagram: Diagram) -> str:
+    """One-line summary used in example output and logs."""
+    return (
+        f"{len(diagram.data_tables())} tables, {len(diagram.edges)} edges, "
+        f"{len(diagram.boxes)} boxes"
+    )

@@ -1,0 +1,112 @@
+"""Graphviz DOT emitter for QueryVis diagrams.
+
+The original QueryVis prototype rendered its diagrams with GraphViz
+(Appendix A.4).  :func:`diagram_to_dot` emits equivalent DOT text: each table
+composite mark becomes an HTML-like label node (header row with black
+background, attribute rows, yellow selection rows, gray GROUP BY rows), each
+quantifier bounding box becomes a cluster subgraph (dashed for ∄, double
+border approximated with ``peripheries=2`` for ∀), and join edges become
+(optionally directed and labelled) edges between row ports.
+
+The emitter has no dependency on the GraphViz binary — it only produces the
+text, which renders with any stock ``dot`` installation.
+"""
+
+from __future__ import annotations
+
+from ..diagram.model import BoxStyle, Diagram, DiagramTable, RowKind
+
+_HEADER_BG = "#000000"
+_HEADER_FG = "#ffffff"
+_SELECT_BG = "#bbbbbb"
+_SELECTION_BG = "#ffffaa"
+_GROUP_BY_BG = "#dddddd"
+
+
+def diagram_to_dot(diagram: Diagram, graph_name: str = "queryvis") -> str:
+    """Render ``diagram`` as GraphViz DOT text."""
+    lines: list[str] = []
+    lines.append(f"digraph {_quote_id(graph_name)} {{")
+    lines.append("    rankdir=LR;")
+    lines.append("    node [shape=plaintext, fontname=\"Helvetica\"];")
+    lines.append("    edge [fontname=\"Helvetica\", arrowsize=0.7];")
+
+    boxed: set[str] = set()
+    for index, box in enumerate(diagram.boxes):
+        boxed.update(box.table_ids)
+        style = "dashed" if box.style is BoxStyle.NOT_EXISTS else "solid"
+        peripheries = 1 if box.style is BoxStyle.NOT_EXISTS else 2
+        lines.append(f"    subgraph cluster_{index} {{")
+        lines.append(f"        style={style};")
+        lines.append(f"        peripheries={peripheries};")
+        lines.append(f"        label=\"\";")
+        for table_id in sorted(box.table_ids):
+            lines.append(_node_statement(diagram.table(table_id), indent="        "))
+        lines.append("    }")
+
+    for table in diagram.tables:
+        if table.table_id not in boxed:
+            lines.append(_node_statement(table, indent="    "))
+
+    for edge in diagram.edges:
+        source = f"{_quote_id(edge.source.table_id)}:{_port(edge.source.row_key)}"
+        target = f"{_quote_id(edge.target.table_id)}:{_port(edge.target.row_key)}"
+        attributes = []
+        if not edge.directed:
+            attributes.append("dir=none")
+        if edge.operator:
+            attributes.append(f"label=\"{_escape(edge.operator)}\"")
+        attribute_text = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"    {source} -> {target}{attribute_text};")
+
+    lines.append("}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# internals
+# ---------------------------------------------------------------------- #
+
+
+def _node_statement(table: DiagramTable, indent: str) -> str:
+    label = _table_label(table)
+    return f"{indent}{_quote_id(table.table_id)} [label=<{label}>];"
+
+
+def _table_label(table: DiagramTable) -> str:
+    header_bg = _SELECT_BG if table.is_select else _HEADER_BG
+    header_fg = "#000000" if table.is_select else _HEADER_FG
+    rows = [
+        '<TABLE BORDER="1" CELLBORDER="0" CELLSPACING="0" CELLPADDING="4">',
+        f'<TR><TD BGCOLOR="{header_bg}"><FONT COLOR="{header_fg}"><B>'
+        f"{_escape(table.name)}</B></FONT></TD></TR>",
+    ]
+    for row in table.rows:
+        bgcolor = ""
+        if row.kind is RowKind.SELECTION:
+            bgcolor = f' BGCOLOR="{_SELECTION_BG}"'
+        elif row.kind is RowKind.GROUP_BY:
+            bgcolor = f' BGCOLOR="{_GROUP_BY_BG}"'
+        rows.append(
+            f'<TR><TD PORT="{_port(row.key)}"{bgcolor}>{_escape(row.label)}</TD></TR>'
+        )
+    rows.append("</TABLE>")
+    return "".join(rows)
+
+
+def _port(row_key: str) -> str:
+    sanitized = "".join(ch if ch.isalnum() else "_" for ch in row_key.lower())
+    return f"p_{sanitized}"
+
+
+def _quote_id(identifier: str) -> str:
+    return f'"{identifier}"'
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )

@@ -1,0 +1,126 @@
+"""A small layered layout for QueryVis diagrams.
+
+GraphViz is not available offline, so the SVG and ASCII renderers need their
+own coordinates.  The diagrams are small (a handful of tables of a few rows)
+and their natural reading order is left to right from the SELECT box
+(Section 4.6), so a simple layered layout suffices:
+
+* tables are assigned to columns by their nesting depth when available
+  (stored by the builder in the diagram metadata), falling back to their
+  breadth-first distance from the SELECT table;
+* within a column, tables are stacked top to bottom in reading order;
+* each table's pixel size follows from its row count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..diagram.model import Diagram, DiagramTable
+
+ROW_HEIGHT = 22
+HEADER_HEIGHT = 24
+TABLE_WIDTH = 170
+COLUMN_GAP = 90
+ROW_GAP = 40
+MARGIN = 30
+
+
+@dataclass(frozen=True)
+class TablePlacement:
+    """Pixel-space placement of one table composite mark."""
+
+    table_id: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def right(self) -> float:
+        return self.x + self.width
+
+    @property
+    def bottom(self) -> float:
+        return self.y + self.height
+
+    def row_anchor(self, row_index: int) -> tuple[float, float]:
+        """Centre-left/right anchor y-coordinate of a row."""
+        y = self.y + HEADER_HEIGHT + ROW_HEIGHT * (row_index + 0.5)
+        return self.x, y
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Placements for every table plus the overall canvas size."""
+
+    placements: dict[str, TablePlacement]
+    width: float
+    height: float
+
+    def placement(self, table_id: str) -> TablePlacement:
+        return self.placements[table_id]
+
+
+def layout_diagram(diagram: Diagram) -> Layout:
+    """Compute a layered layout for ``diagram``."""
+    columns = _assign_columns(diagram)
+    placements: dict[str, TablePlacement] = {}
+    max_bottom = 0.0
+    max_right = 0.0
+    for column_index in sorted(columns):
+        x = MARGIN + column_index * (TABLE_WIDTH + COLUMN_GAP)
+        y = float(MARGIN)
+        for table in columns[column_index]:
+            height = HEADER_HEIGHT + ROW_HEIGHT * max(1, len(table.rows))
+            placements[table.table_id] = TablePlacement(
+                table_id=table.table_id, x=x, y=y, width=TABLE_WIDTH, height=height
+            )
+            y += height + ROW_GAP
+            max_bottom = max(max_bottom, y)
+        max_right = max(max_right, x + TABLE_WIDTH)
+    return Layout(
+        placements=placements,
+        width=max_right + MARGIN,
+        height=max_bottom + MARGIN,
+    )
+
+
+def _assign_columns(diagram: Diagram) -> dict[int, list[DiagramTable]]:
+    depth_of: dict[str, int] = {}
+    for key, value in diagram.metadata.items():
+        if key.startswith("depth."):
+            depth_of[key[len("depth.") :]] = int(value)
+
+    order = diagram.reading_order()
+    rank: dict[str, int] = {}
+    for table in diagram.tables:
+        if table.is_select:
+            rank[table.table_id] = 0
+        elif table.table_id in depth_of:
+            rank[table.table_id] = depth_of[table.table_id] + 1
+        else:
+            rank[table.table_id] = 1 + _bfs_distance(diagram, table.table_id)
+
+    columns: dict[int, list[DiagramTable]] = {}
+    position = {table_id: index for index, table_id in enumerate(order)}
+    for table in sorted(diagram.tables, key=lambda t: position.get(t.table_id, 0)):
+        columns.setdefault(rank[table.table_id], []).append(table)
+    return columns
+
+
+def _bfs_distance(diagram: Diagram, table_id: str) -> int:
+    """Distance from the SELECT table ignoring edge direction."""
+    adjacency: dict[str, set[str]] = {table.table_id: set() for table in diagram.tables}
+    for edge in diagram.edges:
+        adjacency[edge.source.table_id].add(edge.target.table_id)
+        adjacency[edge.target.table_id].add(edge.source.table_id)
+    frontier = [diagram.select_table_id]
+    distances = {diagram.select_table_id: 0}
+    while frontier:
+        current = frontier.pop(0)
+        for neighbour in adjacency[current]:
+            if neighbour not in distances:
+                distances[neighbour] = distances[current] + 1
+                frontier.append(neighbour)
+    return distances.get(table_id, len(diagram.tables))

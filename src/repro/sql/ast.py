@@ -1,0 +1,262 @@
+"""Abstract syntax tree for the QueryVis SQL fragment.
+
+The node vocabulary mirrors the grammar of Fig. 4 in the paper:
+
+* a :class:`SelectQuery` is a query block (SELECT / FROM / WHERE and an
+  optional GROUP BY used by the appendix extension);
+* the WHERE clause is a *conjunction* of predicates — join predicates,
+  selection predicates, and the three kinds of subquery predicates
+  (``[NOT] EXISTS``, ``[NOT] IN``, ``op ANY/ALL``);
+* all nodes are frozen dataclasses so they can be hashed, compared and used
+  as dictionary keys by later pipeline stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+#: Comparison operators of the fragment, canonical spelling.
+COMPARISON_OPS = ("<", "<=", "=", "<>", ">=", ">")
+
+#: Operator obtained by swapping the operands (used by the arrow rules when a
+#: join must be rewritten, Section 4.5.1 of the paper).
+FLIPPED_OP = {"<": ">", "<=": ">=", "=": "=", "<>": "<>", ">=": "<=", ">": "<"}
+
+#: Logical negation of an operator (used when pushing NOT through ANY/ALL).
+NEGATED_OP = {"<": ">=", "<=": ">", "=": "<>", "<>": "=", ">=": "<", ">": "<="}
+
+
+@dataclass(frozen=True)
+class Star:
+    """``SELECT *`` or ``COUNT(*)`` argument."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly qualified) column reference such as ``L1.drinker``."""
+
+    table: str | None
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: string or number."""
+
+    value: Union[int, float, str]
+
+    @property
+    def is_string(self) -> bool:
+        return isinstance(self.value, str)
+
+    def __str__(self) -> str:
+        if self.is_string:
+            escaped = str(self.value).replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """An aggregate select item such as ``COUNT(T.TrackId)`` or ``SUM(x)``."""
+
+    func: str
+    argument: Union[ColumnRef, Star]
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.argument})"
+
+
+SelectItem = Union[ColumnRef, AggregateCall, Star]
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM clause, optionally aliased (``Likes L1``)."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def effective_alias(self) -> str:
+        """The name by which columns refer to this table."""
+        return self.alias if self.alias is not None else self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A join or selection predicate ``left op right``.
+
+    A predicate is a *selection* predicate when exactly one side is a
+    :class:`Literal`, and a *join* predicate when both sides are column
+    references (Section 4.4, "Notation").
+    """
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unsupported comparison operator: {self.op!r}")
+
+    @property
+    def is_selection(self) -> bool:
+        return isinstance(self.left, Literal) or isinstance(self.right, Literal)
+
+    @property
+    def is_join(self) -> bool:
+        return isinstance(self.left, ColumnRef) and isinstance(self.right, ColumnRef)
+
+    def flipped(self) -> "Comparison":
+        """Return the equivalent comparison with operands swapped."""
+        return Comparison(self.right, FLIPPED_OP[self.op], self.left)
+
+    def normalized_selection(self) -> "Comparison":
+        """Return a selection predicate with the column on the left side."""
+        if isinstance(self.left, Literal) and isinstance(self.right, ColumnRef):
+            return self.flipped()
+        return self
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """``[NOT] EXISTS (subquery)``."""
+
+    query: "SelectQuery"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        prefix = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{prefix} (...)"
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``column [NOT] IN (subquery)``."""
+
+    column: ColumnRef
+    query: "SelectQuery"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        return f"{self.column} {op} (...)"
+
+
+@dataclass(frozen=True)
+class QuantifiedComparison:
+    """``column op ANY (subquery)`` or ``column op ALL (subquery)``.
+
+    ``negated`` captures the ``NOT column = ANY (...)`` spelling used in
+    Fig. 24 of the paper.
+    """
+
+    column: ColumnRef
+    op: str
+    quantifier: str  # "ANY" | "ALL"
+    query: "SelectQuery"
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unsupported comparison operator: {self.op!r}")
+        if self.quantifier not in ("ANY", "ALL"):
+            raise ValueError(f"quantifier must be ANY or ALL, got {self.quantifier!r}")
+
+    def __str__(self) -> str:
+        text = f"{self.column} {self.op} {self.quantifier} (...)"
+        return f"NOT {text}" if self.negated else text
+
+
+Predicate = Union[Comparison, Exists, InSubquery, QuantifiedComparison]
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A query block: SELECT list, FROM list and conjunctive WHERE clause."""
+
+    select_items: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    where: tuple[Predicate, ...] = ()
+    group_by: tuple[ColumnRef, ...] = field(default=())
+
+    # ------------------------------------------------------------------ #
+    # structural helpers used throughout the pipeline
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_select_star(self) -> bool:
+        return len(self.select_items) == 1 and isinstance(self.select_items[0], Star)
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(isinstance(item, AggregateCall) for item in self.select_items)
+
+    def local_aliases(self) -> tuple[str, ...]:
+        """Aliases (or table names) introduced by this block's FROM clause."""
+        return tuple(table.effective_alias for table in self.from_tables)
+
+    def comparisons(self) -> list[Comparison]:
+        """Plain comparison predicates of this block (no subqueries)."""
+        return [p for p in self.where if isinstance(p, Comparison)]
+
+    def subquery_predicates(self) -> list[Predicate]:
+        """Predicates of this block that introduce a nested query block."""
+        return [
+            p
+            for p in self.where
+            if isinstance(p, (Exists, InSubquery, QuantifiedComparison))
+        ]
+
+    def iter_blocks(self) -> Iterator["SelectQuery"]:
+        """Yield this block and all nested blocks in pre-order."""
+        yield self
+        for predicate in self.subquery_predicates():
+            yield from predicate.query.iter_blocks()
+
+    def nesting_depth(self) -> int:
+        """Maximum nesting depth, with the root block at depth 0."""
+        sub = self.subquery_predicates()
+        if not sub:
+            return 0
+        return 1 + max(p.query.nesting_depth() for p in sub)
+
+    def table_count(self) -> int:
+        """Total number of table references across all blocks."""
+        return sum(len(block.from_tables) for block in self.iter_blocks())
+
+    def referenced_columns(self) -> set[ColumnRef]:
+        """All column references appearing anywhere in this query."""
+        columns: set[ColumnRef] = set()
+        for block in self.iter_blocks():
+            for item in block.select_items:
+                if isinstance(item, ColumnRef):
+                    columns.add(item)
+                elif isinstance(item, AggregateCall) and isinstance(
+                    item.argument, ColumnRef
+                ):
+                    columns.add(item.argument)
+            columns.update(block.group_by)
+            for predicate in block.where:
+                if isinstance(predicate, Comparison):
+                    for side in (predicate.left, predicate.right):
+                        if isinstance(side, ColumnRef):
+                            columns.add(side)
+                elif isinstance(predicate, (InSubquery, QuantifiedComparison)):
+                    columns.add(predicate.column)
+        return columns

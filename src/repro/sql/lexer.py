@@ -1,0 +1,156 @@
+"""Hand-written lexer for the QueryVis SQL fragment.
+
+The lexer is intentionally simple: the supported grammar (Fig. 4 of the
+paper) needs identifiers, string/number literals, six comparison operators
+and a handful of punctuation characters.  Comments (``--`` line comments and
+``/* ... */`` block comments) are skipped so that queries copied from the
+paper's appendix or from real codebases tokenize cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .errors import SQLSyntaxError
+from .tokens import KEYWORDS, Token, TokenType, normalize_operator
+
+_WHITESPACE = " \t\r\n"
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789$")
+_DIGITS = set("0123456789")
+
+
+class Lexer:
+    """Tokenizes SQL source text into a list of :class:`Token` objects."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+        self._length = len(text)
+
+    def tokenize(self) -> list[Token]:
+        """Return all tokens of the source text, ending with an EOF token."""
+        tokens = list(self._iter_tokens())
+        tokens.append(Token(TokenType.EOF, "", self._length))
+        return tokens
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= self._length:
+                return
+            ch = self._text[self._pos]
+            if ch in _IDENT_START:
+                yield self._lex_word()
+            elif ch in _DIGITS:
+                yield self._lex_number()
+            elif ch == "'":
+                yield self._lex_string()
+            elif ch == '"':
+                yield self._lex_quoted_identifier()
+            else:
+                yield self._lex_symbol()
+
+    def _skip_whitespace_and_comments(self) -> None:
+        text, length = self._text, self._length
+        while self._pos < length:
+            ch = text[self._pos]
+            if ch in _WHITESPACE:
+                self._pos += 1
+            elif text.startswith("--", self._pos):
+                end = text.find("\n", self._pos)
+                self._pos = length if end == -1 else end + 1
+            elif text.startswith("/*", self._pos):
+                end = text.find("*/", self._pos + 2)
+                if end == -1:
+                    raise SQLSyntaxError("unterminated block comment", self._pos)
+                self._pos = end + 2
+            else:
+                return
+
+    def _lex_word(self) -> Token:
+        start = self._pos
+        text, length = self._text, self._length
+        while self._pos < length and text[self._pos] in _IDENT_CONT:
+            self._pos += 1
+        word = text[start : self._pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, start)
+        return Token(TokenType.IDENTIFIER, word, start)
+
+    def _lex_number(self) -> Token:
+        start = self._pos
+        text, length = self._text, self._length
+        while self._pos < length and text[self._pos] in _DIGITS:
+            self._pos += 1
+        if self._pos < length and text[self._pos] == ".":
+            # Only treat the dot as part of the number when followed by a
+            # digit; "T1.attr" must remain three tokens.
+            if self._pos + 1 < length and text[self._pos + 1] in _DIGITS:
+                self._pos += 1
+                while self._pos < length and text[self._pos] in _DIGITS:
+                    self._pos += 1
+        return Token(TokenType.NUMBER, text[start : self._pos], start)
+
+    def _lex_string(self) -> Token:
+        start = self._pos
+        self._pos += 1  # opening quote
+        chars: list[str] = []
+        text, length = self._text, self._length
+        while self._pos < length:
+            ch = text[self._pos]
+            if ch == "'":
+                # '' escapes a single quote inside the literal
+                if self._pos + 1 < length and text[self._pos + 1] == "'":
+                    chars.append("'")
+                    self._pos += 2
+                    continue
+                self._pos += 1
+                return Token(TokenType.STRING, "".join(chars), start)
+            chars.append(ch)
+            self._pos += 1
+        raise SQLSyntaxError("unterminated string literal", start)
+
+    def _lex_quoted_identifier(self) -> Token:
+        start = self._pos
+        end = self._text.find('"', self._pos + 1)
+        if end == -1:
+            raise SQLSyntaxError("unterminated quoted identifier", start)
+        value = self._text[self._pos + 1 : end]
+        self._pos = end + 1
+        return Token(TokenType.IDENTIFIER, value, start)
+
+    def _lex_symbol(self) -> Token:
+        start = self._pos
+        text = self._text
+        two = text[start : start + 2]
+        if two in ("<=", ">=", "<>", "!="):
+            self._pos += 2
+            return Token(TokenType.OPERATOR, normalize_operator(two), start)
+        ch = text[start]
+        self._pos += 1
+        if ch in "<>=":
+            return Token(TokenType.OPERATOR, ch, start)
+        if ch == ",":
+            return Token(TokenType.COMMA, ch, start)
+        if ch == ".":
+            return Token(TokenType.DOT, ch, start)
+        if ch == "(":
+            return Token(TokenType.LPAREN, ch, start)
+        if ch == ")":
+            return Token(TokenType.RPAREN, ch, start)
+        if ch == "*":
+            return Token(TokenType.STAR, ch, start)
+        if ch == ";":
+            return Token(TokenType.SEMICOLON, ch, start)
+        raise SQLSyntaxError(f"unexpected character {ch!r}", start)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``text`` and return the token list."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,73 @@
+"""Textual complexity metrics for SQL queries.
+
+Section 4.8 of the paper compares the textual complexity of SQL queries
+("167 % more words") with the visual complexity of their diagrams.  This
+module provides the word- and token-count side of that comparison; the
+diagram side lives in :mod:`repro.diagram.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import SelectQuery
+from .formatter import format_query
+from .lexer import tokenize
+from .tokens import TokenType
+
+
+@dataclass(frozen=True)
+class SQLTextMetrics:
+    """Summary of the textual complexity of one SQL query.
+
+    Attributes
+    ----------
+    word_count:
+        Number of whitespace-separated words in the canonical formatting.
+        This is the measure used by Section 4.8 ("more words").
+    token_count:
+        Number of lexical tokens (excluding EOF).
+    line_count:
+        Number of lines in the canonical formatting.
+    nesting_depth:
+        Maximum subquery nesting depth (root block = 0).
+    table_count:
+        Total table references across all blocks.
+    predicate_count:
+        Total number of WHERE predicates across all blocks.
+    """
+
+    word_count: int
+    token_count: int
+    line_count: int
+    nesting_depth: int
+    table_count: int
+    predicate_count: int
+
+
+def text_metrics(query: SelectQuery) -> SQLTextMetrics:
+    """Compute :class:`SQLTextMetrics` for ``query``."""
+    text = format_query(query)
+    words = text.split()
+    tokens = [t for t in tokenize(text) if t.type is not TokenType.EOF]
+    predicate_count = sum(len(block.where) for block in query.iter_blocks())
+    return SQLTextMetrics(
+        word_count=len(words),
+        token_count=len(tokens),
+        line_count=text.count("\n") + 1,
+        nesting_depth=query.nesting_depth(),
+        table_count=query.table_count(),
+        predicate_count=predicate_count,
+    )
+
+
+def word_count(query: SelectQuery) -> int:
+    """Number of words in the canonical formatting of ``query``."""
+    return text_metrics(query).word_count
+
+
+def relative_increase(base: int, other: int) -> float:
+    """Percentage increase of ``other`` over ``base`` (e.g. 1.67 for +167 %)."""
+    if base == 0:
+        raise ValueError("base must be positive")
+    return (other - base) / base

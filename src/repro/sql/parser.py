@@ -1,0 +1,313 @@
+"""Recursive-descent parser for the QueryVis SQL fragment (Fig. 4).
+
+The parser accepts:
+
+* ``SELECT`` lists of qualified/unqualified columns, ``*`` and aggregate
+  calls (``COUNT``, ``SUM``, ``AVG``, ``MIN``, ``MAX``);
+* comma-separated ``FROM`` lists with optional aliases (with or without
+  ``AS``);
+* ``WHERE`` clauses that are conjunctions (``AND``) of join predicates,
+  selection predicates, ``[NOT] EXISTS``, ``[NOT] IN`` and ``op ANY/ALL``
+  subqueries;
+* an optional ``GROUP BY`` clause (appendix extension).
+
+Constructs outside the fragment (``OR``, explicit ``JOIN``, ``HAVING``,
+``UNION``, ``ORDER BY``, ``DISTINCT``) raise :class:`UnsupportedSQLError`
+with a message naming the offending construct, so that callers can report a
+precise reason rather than a generic syntax error.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    AggregateCall,
+    ColumnRef,
+    Comparison,
+    Exists,
+    InSubquery,
+    Literal,
+    Predicate,
+    QuantifiedComparison,
+    SelectItem,
+    SelectQuery,
+    Star,
+    TableRef,
+)
+from .errors import SQLSyntaxError, UnsupportedSQLError
+from .lexer import tokenize
+from .tokens import AGGREGATE_FUNCTIONS, Token, TokenType
+
+_UNSUPPORTED_KEYWORDS = {
+    "OR": "disjunction (OR) is outside the supported fragment",
+    "JOIN": "explicit JOIN syntax is not supported; use implicit joins",
+    "ON": "explicit JOIN syntax is not supported; use implicit joins",
+    "HAVING": "HAVING is not supported",
+    "ORDER": "ORDER BY is not supported",
+    "UNION": "UNION is not supported",
+    "DISTINCT": "DISTINCT is not supported (set semantics are assumed)",
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`SelectQuery` AST."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------ #
+    # public entry point
+    # ------------------------------------------------------------------ #
+
+    def parse_query(self) -> SelectQuery:
+        """Parse a complete query and require that all input is consumed."""
+        query = self._parse_select_query()
+        if self._current.type is TokenType.SEMICOLON:
+            self._advance()
+        if self._current.type is not TokenType.EOF:
+            raise SQLSyntaxError(
+                f"unexpected trailing input {self._current.value!r}",
+                self._current.position,
+            )
+        return query
+
+    # ------------------------------------------------------------------ #
+    # token-stream helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self._current
+        if token.type is not token_type or (value is not None and token.value != value):
+            expected = value if value is not None else token_type.name
+            raise SQLSyntaxError(
+                f"expected {expected}, found {token.value!r}", token.position
+            )
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        return self._expect(TokenType.KEYWORD, word.upper())
+
+    def _check_unsupported(self, token: Token) -> None:
+        if token.type is TokenType.KEYWORD and token.value in _UNSUPPORTED_KEYWORDS:
+            raise UnsupportedSQLError(_UNSUPPORTED_KEYWORDS[token.value])
+
+    # ------------------------------------------------------------------ #
+    # grammar rules
+    # ------------------------------------------------------------------ #
+
+    def _parse_select_query(self) -> SelectQuery:
+        self._expect_keyword("SELECT")
+        self._check_unsupported(self._current)
+        select_items = self._parse_select_list()
+        self._expect_keyword("FROM")
+        from_tables = self._parse_from_list()
+        where: tuple[Predicate, ...] = ()
+        if self._current.is_keyword("WHERE"):
+            self._advance()
+            where = tuple(self._parse_conjunction())
+        group_by: tuple[ColumnRef, ...] = ()
+        if self._current.is_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            group_by = tuple(self._parse_group_by_list())
+        self._check_unsupported(self._current)
+        return SelectQuery(
+            select_items=tuple(select_items),
+            from_tables=tuple(from_tables),
+            where=where,
+            group_by=group_by,
+        )
+
+    def _parse_select_list(self) -> list[SelectItem]:
+        if self._current.type is TokenType.STAR:
+            self._advance()
+            return [Star()]
+        items: list[SelectItem] = [self._parse_select_item()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._current
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.value.upper() in AGGREGATE_FUNCTIONS
+            and self._peek().type is TokenType.LPAREN
+        ):
+            return self._parse_aggregate_call()
+        return self._parse_column_ref()
+
+    def _parse_aggregate_call(self) -> AggregateCall:
+        func = self._advance().value.upper()
+        self._expect(TokenType.LPAREN)
+        argument: ColumnRef | Star
+        if self._current.type is TokenType.STAR:
+            self._advance()
+            argument = Star()
+        else:
+            argument = self._parse_column_ref()
+        self._expect(TokenType.RPAREN)
+        return AggregateCall(func=func, argument=argument)
+
+    def _parse_column_ref(self) -> ColumnRef:
+        first = self._expect(TokenType.IDENTIFIER)
+        if self._current.type is TokenType.DOT:
+            self._advance()
+            second = self._expect(TokenType.IDENTIFIER)
+            return ColumnRef(table=first.value, column=second.value)
+        return ColumnRef(table=None, column=first.value)
+
+    def _parse_from_list(self) -> list[TableRef]:
+        tables = [self._parse_table_ref()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            tables.append(self._parse_table_ref())
+        return tables
+
+    def _parse_table_ref(self) -> TableRef:
+        self._check_unsupported(self._current)
+        name = self._expect(TokenType.IDENTIFIER).value
+        alias: str | None = None
+        if self._current.is_keyword("AS"):
+            self._advance()
+            alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._current.type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return TableRef(name=name, alias=alias)
+
+    def _parse_group_by_list(self) -> list[ColumnRef]:
+        columns = [self._parse_column_ref()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            columns.append(self._parse_column_ref())
+        return columns
+
+    # ------------------------------------------------------------------ #
+    # predicates
+    # ------------------------------------------------------------------ #
+
+    def _parse_conjunction(self) -> list[Predicate]:
+        predicates = [self._parse_predicate()]
+        while True:
+            token = self._current
+            self._check_unsupported(token)
+            if token.is_keyword("AND"):
+                self._advance()
+                predicates.append(self._parse_predicate())
+            else:
+                return predicates
+
+    def _parse_predicate(self) -> Predicate:
+        token = self._current
+        self._check_unsupported(token)
+        if token.is_keyword("NOT"):
+            return self._parse_negated_predicate()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            return Exists(query=self._parse_parenthesized_query(), negated=False)
+        return self._parse_comparison_like()
+
+    def _parse_negated_predicate(self) -> Predicate:
+        self._expect_keyword("NOT")
+        token = self._current
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            return Exists(query=self._parse_parenthesized_query(), negated=True)
+        # "NOT column ..." — applies to IN or quantified comparison.
+        predicate = self._parse_comparison_like()
+        if isinstance(predicate, InSubquery):
+            return InSubquery(
+                column=predicate.column, query=predicate.query, negated=True
+            )
+        if isinstance(predicate, QuantifiedComparison):
+            return QuantifiedComparison(
+                column=predicate.column,
+                op=predicate.op,
+                quantifier=predicate.quantifier,
+                query=predicate.query,
+                negated=True,
+            )
+        raise UnsupportedSQLError(
+            "NOT may only negate EXISTS, IN, or quantified subquery predicates"
+        )
+
+    def _parse_comparison_like(self) -> Predicate:
+        left = self._parse_operand()
+        token = self._current
+        if token.is_keyword("NOT"):
+            self._advance()
+            self._expect_keyword("IN")
+            if not isinstance(left, ColumnRef):
+                raise SQLSyntaxError("IN requires a column on the left", token.position)
+            return InSubquery(column=left, query=self._parse_parenthesized_query(), negated=True)
+        if token.is_keyword("IN"):
+            self._advance()
+            if not isinstance(left, ColumnRef):
+                raise SQLSyntaxError("IN requires a column on the left", token.position)
+            return InSubquery(column=left, query=self._parse_parenthesized_query(), negated=False)
+        if token.type is not TokenType.OPERATOR:
+            raise SQLSyntaxError(
+                f"expected comparison operator, found {token.value!r}", token.position
+            )
+        op = self._advance().value
+        next_token = self._current
+        if next_token.is_keyword("ANY") or next_token.is_keyword("ALL"):
+            quantifier = self._advance().value
+            if not isinstance(left, ColumnRef):
+                raise SQLSyntaxError(
+                    "quantified comparison requires a column on the left",
+                    next_token.position,
+                )
+            return QuantifiedComparison(
+                column=left,
+                op=op,
+                quantifier=quantifier,
+                query=self._parse_parenthesized_query(),
+            )
+        if next_token.type is TokenType.LPAREN and self._peek().is_keyword("SELECT"):
+            raise UnsupportedSQLError(
+                "scalar subqueries are not supported; use IN, EXISTS, ANY or ALL"
+            )
+        right = self._parse_operand()
+        return Comparison(left=left, op=op, right=right)
+
+    def _parse_operand(self) -> ColumnRef | Literal:
+        token = self._current
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_column_ref()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        raise SQLSyntaxError(
+            f"expected column or literal, found {token.value!r}", token.position
+        )
+
+    def _parse_parenthesized_query(self) -> SelectQuery:
+        self._expect(TokenType.LPAREN)
+        query = self._parse_select_query()
+        self._expect(TokenType.RPAREN)
+        return query
+
+
+def parse(text: str) -> SelectQuery:
+    """Parse SQL ``text`` into a :class:`SelectQuery` AST."""
+    return Parser(tokenize(text)).parse_query()

@@ -1,0 +1,100 @@
+"""Token definitions for the QueryVis SQL fragment.
+
+The lexer (:mod:`repro.sql.lexer`) produces a flat sequence of
+:class:`Token` objects which the recursive-descent parser consumes.  Keeping
+the token vocabulary tiny and explicit mirrors the small grammar in Fig. 4 of
+the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Kinds of lexical tokens recognised by the lexer."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"  # < <= = <> >= > !=
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+#: Keywords recognised by the lexer (always reported upper-case).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "NOT",
+        "EXISTS",
+        "IN",
+        "ANY",
+        "ALL",
+        "AS",
+        "GROUP",
+        "BY",
+        "OR",  # recognised so we can give a precise "unsupported" error
+        "DISTINCT",
+        "JOIN",
+        "ON",
+        "HAVING",
+        "ORDER",
+        "UNION",
+    }
+)
+
+#: Comparison operators of the supported fragment, in canonical spelling.
+COMPARISON_OPERATORS = ("<", "<=", "=", "<>", ">=", ">")
+
+#: Aggregate functions accepted in the GROUP BY extension.
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    type:
+        The :class:`TokenType` of this token.
+    value:
+        Canonical text of the token.  Keywords and operators are upper-cased
+        / normalised; identifiers keep their original spelling; string
+        literals exclude the surrounding quotes.
+    position:
+        Character offset of the first character of the token in the source.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Return True if this token is the given keyword (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, pos={self.position})"
+
+
+def normalize_operator(text: str) -> str:
+    """Return the canonical spelling of a comparison operator.
+
+    ``!=`` is accepted as a synonym for ``<>`` because it is common in the
+    wild, but the canonical operator set of the paper (Fig. 4) uses ``<>``.
+    """
+    if text == "!=":
+        return "<>"
+    return text

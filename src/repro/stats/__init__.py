@@ -1,0 +1,43 @@
+"""Statistics used by the user-study analysis (Section 6.2)."""
+
+from .bootstrap import ConfidenceInterval, bca_interval, percentile_interval
+from .descriptive import (
+    ConditionSummary,
+    NormalityReport,
+    requires_nonparametric,
+    shapiro_wilk,
+    summarize,
+)
+from .effect_size import (
+    EffectSummary,
+    cohens_d,
+    fraction_negative,
+    mean_difference,
+    median_difference,
+)
+from .multiple_testing import benjamini_hochberg, rejected
+from .power import PowerAnalysisResult, achieved_power, required_sample_size
+from .wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+
+__all__ = [
+    "ConditionSummary",
+    "ConfidenceInterval",
+    "EffectSummary",
+    "NormalityReport",
+    "PowerAnalysisResult",
+    "WilcoxonResult",
+    "achieved_power",
+    "bca_interval",
+    "benjamini_hochberg",
+    "cohens_d",
+    "fraction_negative",
+    "mean_difference",
+    "median_difference",
+    "percentile_interval",
+    "rejected",
+    "required_sample_size",
+    "requires_nonparametric",
+    "shapiro_wilk",
+    "summarize",
+    "wilcoxon_signed_rank",
+]

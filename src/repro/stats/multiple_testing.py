@@ -1,0 +1,40 @@
+"""Benjamini–Hochberg false-discovery-rate correction (Section 6.2).
+
+The study runs two hypothesis tests on the timing data and two on the error
+data and adjusts all p-values with the Benjamini & Hochberg (1995) step-up
+procedure.  :func:`benjamini_hochberg` returns the adjusted p-values
+(monotone, capped at 1), matching the behaviour of
+``statsmodels.stats.multitest.multipletests(..., method="fdr_bh")``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def benjamini_hochberg(p_values: Sequence[float]) -> list[float]:
+    """Return BH-adjusted p-values in the original order."""
+    m = len(p_values)
+    if m == 0:
+        return []
+    for p in p_values:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p-value {p} outside [0, 1]")
+    order = sorted(range(m), key=lambda i: p_values[i])
+    adjusted_sorted = [0.0] * m
+    minimum = 1.0
+    # Step-up: walk from the largest p-value down, enforcing monotonicity.
+    for rank_index in range(m - 1, -1, -1):
+        index = order[rank_index]
+        raw = p_values[index] * m / (rank_index + 1)
+        minimum = min(minimum, raw)
+        adjusted_sorted[rank_index] = min(1.0, minimum)
+    adjusted = [0.0] * m
+    for rank_index, index in enumerate(order):
+        adjusted[index] = adjusted_sorted[rank_index]
+    return adjusted
+
+
+def rejected(p_values: Sequence[float], alpha: float = 0.05) -> list[bool]:
+    """Which hypotheses are rejected at FDR level ``alpha`` after adjustment."""
+    return [p <= alpha for p in benjamini_hochberg(p_values)]

@@ -1,0 +1,78 @@
+"""Power analysis for the pilot-based sample-size estimate (Section 6.2).
+
+The authors ran a 12-participant pilot, then estimated the sample size needed
+for a one-tailed two-sample comparison of mean times with α = 5 % and power
+1 − β = 90 %, arriving at n = 84 (rounded up to a multiple of six so the six
+Latin-square sequences stay balanced).  This module reproduces that
+computation for arbitrary pilot summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .bootstrap import _norm_ppf
+
+
+@dataclass(frozen=True)
+class PowerAnalysisResult:
+    """Outcome of the sample-size computation."""
+
+    effect_size: float  # Cohen's d from the pilot means and pooled SD
+    n_per_group: int  # raw per-group requirement
+    n_rounded: int  # rounded up to a multiple of `round_to`
+    alpha: float
+    power: float
+
+
+def required_sample_size(
+    mean_treatment: float,
+    mean_control: float,
+    pooled_sd: float,
+    alpha: float = 0.05,
+    power: float = 0.90,
+    one_tailed: bool = True,
+    round_to: int = 6,
+) -> PowerAnalysisResult:
+    """Sample size per group for a two-sample mean comparison.
+
+    Uses the normal-approximation formula
+    ``n = ((z_{1-α} + z_{1-β}) / d)²`` with Cohen's d computed from the pilot
+    means and pooled standard deviation.
+    """
+    if pooled_sd <= 0:
+        raise ValueError("pooled_sd must be positive")
+    effect = abs(mean_treatment - mean_control) / pooled_sd
+    if effect == 0:
+        raise ValueError("zero effect size: sample size is unbounded")
+    z_alpha = _norm_ppf(1 - alpha) if one_tailed else _norm_ppf(1 - alpha / 2)
+    z_beta = _norm_ppf(power)
+    n_raw = ((z_alpha + z_beta) / effect) ** 2
+    n_per_group = math.ceil(n_raw)
+    n_rounded = _round_up_to_multiple(n_per_group, round_to)
+    return PowerAnalysisResult(
+        effect_size=effect,
+        n_per_group=n_per_group,
+        n_rounded=n_rounded,
+        alpha=alpha,
+        power=power,
+    )
+
+
+def achieved_power(
+    effect_size: float, n_per_group: int, alpha: float = 0.05, one_tailed: bool = True
+) -> float:
+    """Power achieved by ``n_per_group`` for a given standardized effect size."""
+    if n_per_group <= 0:
+        raise ValueError("n_per_group must be positive")
+    z_alpha = _norm_ppf(1 - alpha) if one_tailed else _norm_ppf(1 - alpha / 2)
+    z = effect_size * math.sqrt(n_per_group) - z_alpha
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def _round_up_to_multiple(value: int, multiple: int) -> int:
+    if multiple <= 0:
+        return value
+    remainder = value % multiple
+    return value if remainder == 0 else value + multiple - remainder

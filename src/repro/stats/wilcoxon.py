@@ -1,0 +1,150 @@
+"""One-tailed Wilcoxon signed-rank test (Section 6.2).
+
+The study uses one-tailed Wilcoxon signed-rank tests on within-participant
+differences (QV − SQL and Both − SQL) because the timing data is not normally
+distributed.  The implementation here follows the classic formulation
+(Wilcoxon 1945) with the normal approximation including tie and zero
+corrections; for small samples without ties it falls back to the exact
+distribution.  Results are cross-checked against ``scipy.stats.wilcoxon`` in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class WilcoxonResult:
+    """Outcome of a Wilcoxon signed-rank test."""
+
+    statistic: float  # W+ : sum of ranks of positive differences
+    p_value: float
+    n_effective: int  # number of non-zero differences
+    method: str  # "exact" or "normal"
+
+
+def wilcoxon_signed_rank(
+    differences: Sequence[float], alternative: str = "less"
+) -> WilcoxonResult:
+    """Test whether the paired differences are shifted away from zero.
+
+    Parameters
+    ----------
+    differences:
+        Within-subject differences (e.g. time_QV − time_SQL per participant).
+    alternative:
+        ``"less"`` tests whether differences tend to be negative (the study's
+        directional hypotheses, e.g. QV faster than SQL), ``"greater"`` the
+        opposite, ``"two-sided"`` any shift.
+    """
+    if alternative not in ("less", "greater", "two-sided"):
+        raise ValueError(f"unknown alternative {alternative!r}")
+    nonzero = [d for d in differences if d != 0.0]
+    n = len(nonzero)
+    if n == 0:
+        return WilcoxonResult(statistic=0.0, p_value=1.0, n_effective=0, method="exact")
+
+    ranks, has_ties = _rank_absolute(nonzero)
+    w_plus = sum(rank for rank, d in zip(ranks, nonzero) if d > 0)
+    w_minus = sum(rank for rank, d in zip(ranks, nonzero) if d < 0)
+
+    if n <= 12 and not has_ties:
+        p_value = _exact_p_value(nonzero, ranks, w_plus, alternative)
+        return WilcoxonResult(
+            statistic=w_plus, p_value=p_value, n_effective=n, method="exact"
+        )
+
+    p_value = _normal_p_value(nonzero, ranks, w_plus, alternative)
+    return WilcoxonResult(
+        statistic=w_plus, p_value=p_value, n_effective=n, method="normal"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# internals
+# ---------------------------------------------------------------------- #
+
+
+def _rank_absolute(values: Sequence[float]) -> tuple[list[float], bool]:
+    """Midranks of the absolute values, plus a flag for ties."""
+    indexed = sorted(range(len(values)), key=lambda i: abs(values[i]))
+    ranks = [0.0] * len(values)
+    has_ties = False
+    position = 0
+    while position < len(indexed):
+        group_end = position
+        while (
+            group_end + 1 < len(indexed)
+            and abs(values[indexed[group_end + 1]]) == abs(values[indexed[position]])
+        ):
+            group_end += 1
+        if group_end > position:
+            has_ties = True
+        midrank = (position + group_end) / 2 + 1
+        for i in range(position, group_end + 1):
+            ranks[indexed[i]] = midrank
+        position = group_end + 1
+    return ranks, has_ties
+
+
+def _normal_p_value(
+    values: Sequence[float], ranks: Sequence[float], w_plus: float, alternative: str
+) -> float:
+    n = len(values)
+    mean = n * (n + 1) / 4
+    variance = n * (n + 1) * (2 * n + 1) / 24
+    # Tie correction: subtract sum(t^3 - t)/48 over tie groups of |values|.
+    tie_counts: dict[float, int] = {}
+    for value in values:
+        tie_counts[abs(value)] = tie_counts.get(abs(value), 0) + 1
+    variance -= sum(t**3 - t for t in tie_counts.values()) / 48
+    if variance <= 0:
+        return 1.0
+    # Continuity correction of 0.5 towards the mean.
+    if alternative == "less":
+        z = (w_plus - mean + 0.5) / math.sqrt(variance)
+        return _phi(z)
+    if alternative == "greater":
+        z = (w_plus - mean - 0.5) / math.sqrt(variance)
+        return 1.0 - _phi(z)
+    z = (w_plus - mean) / math.sqrt(variance)
+    correction = 0.5 * math.copysign(1, z)
+    z = (w_plus - mean - correction) / math.sqrt(variance)
+    return min(1.0, 2.0 * min(_phi(z), 1.0 - _phi(z)))
+
+
+def _exact_p_value(
+    values: Sequence[float], ranks: Sequence[float], w_plus: float, alternative: str
+) -> float:
+    n = len(values)
+    total = 2**n
+    int_ranks = [int(rank) for rank in ranks]
+
+    counts: dict[int, int] = {0: 1}
+    for rank in int_ranks:
+        new_counts: dict[int, int] = {}
+        for statistic, count in counts.items():
+            new_counts[statistic] = new_counts.get(statistic, 0) + count
+            new_counts[statistic + rank] = new_counts.get(statistic + rank, 0) + count
+        counts = new_counts
+
+    def probability_leq(threshold: float) -> float:
+        return sum(count for stat, count in counts.items() if stat <= threshold) / total
+
+    def probability_geq(threshold: float) -> float:
+        return sum(count for stat, count in counts.items() if stat >= threshold) / total
+
+    if alternative == "less":
+        return probability_leq(w_plus)
+    if alternative == "greater":
+        return probability_geq(w_plus)
+    return min(1.0, 2.0 * min(probability_leq(w_plus), probability_geq(w_plus)))
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))

@@ -1,0 +1,88 @@
+"""User-study substrate: stimuli, design, simulation, exclusion and analysis."""
+
+from .analysis import (
+    ComparisonResult,
+    ParticipantConditionSummary,
+    StudyResults,
+    analyze_study,
+    participant_condition_summaries,
+)
+from .design import (
+    SEQUENCES,
+    Assignment,
+    assign,
+    condition_counts,
+    conditions_for_sequence,
+    is_balanced,
+    sequence_for_participant,
+)
+from .exclusion import (
+    DEFAULT_THRESHOLD_SECONDS,
+    ExclusionReport,
+    ParticipantStats,
+    apply_exclusion,
+    exclusion_accuracy,
+    legitimate_responses,
+    participant_stats,
+)
+from .participants import (
+    ParticipantKind,
+    ParticipantProfile,
+    PopulationConfig,
+    generate_population,
+)
+from .report import format_fig7, format_fig18, format_participant_deltas
+from .simulate import DEFAULT_SEED, ResponseRecord, SimulatedStudy, simulate_study
+from .stimuli import (
+    Category,
+    Complexity,
+    Condition,
+    QualificationQuestion,
+    StudyQuestion,
+    qualification_questions,
+    questions_without_grouping,
+    study_schema,
+    test_questions,
+)
+
+__all__ = [
+    "Assignment",
+    "Category",
+    "ComparisonResult",
+    "Complexity",
+    "Condition",
+    "DEFAULT_SEED",
+    "DEFAULT_THRESHOLD_SECONDS",
+    "ExclusionReport",
+    "ParticipantConditionSummary",
+    "ParticipantKind",
+    "ParticipantProfile",
+    "ParticipantStats",
+    "PopulationConfig",
+    "QualificationQuestion",
+    "ResponseRecord",
+    "SEQUENCES",
+    "SimulatedStudy",
+    "StudyQuestion",
+    "StudyResults",
+    "analyze_study",
+    "apply_exclusion",
+    "assign",
+    "condition_counts",
+    "conditions_for_sequence",
+    "exclusion_accuracy",
+    "format_fig18",
+    "format_fig7",
+    "format_participant_deltas",
+    "generate_population",
+    "is_balanced",
+    "legitimate_responses",
+    "participant_condition_summaries",
+    "participant_stats",
+    "qualification_questions",
+    "questions_without_grouping",
+    "sequence_for_participant",
+    "simulate_study",
+    "study_schema",
+    "test_questions",
+]

@@ -1,0 +1,240 @@
+"""The pre-registered analysis pipeline (Section 6.2) on simulated responses.
+
+For every legitimate participant we compute their mean time per question and
+their error rate in each of the three conditions.  Across participants we
+report, per condition, the *median* of the per-participant mean times and the
+*mean* of the error rates with 95 % BCa bootstrap confidence intervals
+(Fig. 7, top row).  The hypotheses
+
+* H-time-1:  time_QV   < time_SQL
+* H-time-2:  time_Both < time_SQL
+* H-err-1:   err_QV    < err_SQL
+* H-err-2:   err_Both  < err_SQL
+
+are tested with one-tailed Wilcoxon signed-rank tests on the
+within-participant differences, and the two time p-values and the two error
+p-values are adjusted (separately, as in the paper) with the
+Benjamini–Hochberg procedure.  The per-participant difference distributions
+of Figs. 20/21 are summarised by their mean, median and the fraction of
+participants faster (respectively making fewer errors) with the treatment.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..stats.bootstrap import ConfidenceInterval, bca_interval
+from ..stats.multiple_testing import benjamini_hochberg
+from ..stats.wilcoxon import wilcoxon_signed_rank
+from .simulate import ResponseRecord
+from .stimuli import Condition
+
+
+@dataclass(frozen=True)
+class ParticipantConditionSummary:
+    """One participant's performance in one condition."""
+
+    participant_id: int
+    condition: Condition
+    mean_time: float
+    error_rate: float
+    n_questions: int
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """A treatment-vs-SQL comparison for one measure (time or error)."""
+
+    measure: str  # "time" | "error"
+    treatment: Condition
+    baseline_value: float
+    treatment_value: float
+    percent_change: float
+    p_value_raw: float
+    p_value_adjusted: float
+    differences: tuple[float, ...]  # per-participant treatment − SQL
+
+    @property
+    def mean_difference(self) -> float:
+        return statistics.fmean(self.differences)
+
+    @property
+    def median_difference(self) -> float:
+        return statistics.median(self.differences)
+
+    @property
+    def fraction_improved(self) -> float:
+        """Share of participants better off with the treatment (difference < 0)."""
+        return sum(1 for d in self.differences if d < 0) / len(self.differences)
+
+    @property
+    def fraction_worse(self) -> float:
+        return sum(1 for d in self.differences if d > 0) / len(self.differences)
+
+    @property
+    def fraction_tied(self) -> float:
+        return sum(1 for d in self.differences if d == 0) / len(self.differences)
+
+
+@dataclass(frozen=True)
+class StudyResults:
+    """Everything needed to print Figs. 7 and 19–21."""
+
+    n_participants: int
+    n_questions: int
+    median_time: dict[Condition, float]
+    mean_error: dict[Condition, float]
+    time_intervals: dict[Condition, ConfidenceInterval]
+    error_intervals: dict[Condition, ConfidenceInterval]
+    time_comparisons: tuple[ComparisonResult, ...]
+    error_comparisons: tuple[ComparisonResult, ...]
+
+    def comparison(self, measure: str, treatment: Condition) -> ComparisonResult:
+        pool = self.time_comparisons if measure == "time" else self.error_comparisons
+        for comparison in pool:
+            if comparison.treatment is treatment:
+                return comparison
+        raise KeyError(f"no {measure} comparison for {treatment}")
+
+
+# ---------------------------------------------------------------------- #
+# per-participant aggregation
+# ---------------------------------------------------------------------- #
+
+
+def participant_condition_summaries(
+    responses: Iterable[ResponseRecord],
+) -> list[ParticipantConditionSummary]:
+    """Aggregate raw responses into per-participant per-condition summaries."""
+    grouped: dict[tuple[int, Condition], list[ResponseRecord]] = {}
+    for record in responses:
+        grouped.setdefault((record.participant_id, record.condition), []).append(record)
+    summaries = []
+    for (participant_id, condition), records in sorted(
+        grouped.items(), key=lambda item: (item[0][0], item[0][1].value)
+    ):
+        times = [r.time_seconds for r in records]
+        errors = [0.0 if r.correct else 1.0 for r in records]
+        summaries.append(
+            ParticipantConditionSummary(
+                participant_id=participant_id,
+                condition=condition,
+                mean_time=statistics.fmean(times),
+                error_rate=statistics.fmean(errors),
+                n_questions=len(records),
+            )
+        )
+    return summaries
+
+
+def _per_condition(
+    summaries: Sequence[ParticipantConditionSummary], condition: Condition
+) -> dict[int, ParticipantConditionSummary]:
+    return {s.participant_id: s for s in summaries if s.condition is condition}
+
+
+# ---------------------------------------------------------------------- #
+# the main analysis
+# ---------------------------------------------------------------------- #
+
+
+def analyze_study(
+    responses: Iterable[ResponseRecord],
+    n_bootstrap: int = 2000,
+    seed: int = 7,
+) -> StudyResults:
+    """Run the complete pre-registered analysis on ``responses``."""
+    summaries = participant_condition_summaries(responses)
+    if not summaries:
+        raise ValueError("no responses to analyse")
+    by_condition = {condition: _per_condition(summaries, condition) for condition in Condition}
+    participants = sorted(
+        set.intersection(*(set(by_condition[c]) for c in Condition))
+    )
+    if not participants:
+        raise ValueError("no participant has data in all three conditions")
+
+    median_time = {}
+    mean_error = {}
+    time_intervals = {}
+    error_intervals = {}
+    for condition in Condition:
+        times = [by_condition[condition][p].mean_time for p in participants]
+        errors = [by_condition[condition][p].error_rate for p in participants]
+        median_time[condition] = statistics.median(times)
+        mean_error[condition] = statistics.fmean(errors)
+        time_intervals[condition] = bca_interval(
+            times, lambda x: float(np.median(x)), n_resamples=n_bootstrap, seed=seed
+        )
+        error_intervals[condition] = bca_interval(
+            errors, lambda x: float(np.mean(x)), n_resamples=n_bootstrap, seed=seed
+        )
+
+    time_comparisons = _comparisons(
+        "time", by_condition, participants, median_time, value_of=lambda s: s.mean_time
+    )
+    error_comparisons = _comparisons(
+        "error", by_condition, participants, mean_error, value_of=lambda s: s.error_rate
+    )
+
+    n_questions = sum(
+        by_condition[condition][participants[0]].n_questions for condition in Condition
+    )
+    return StudyResults(
+        n_participants=len(participants),
+        n_questions=n_questions,
+        median_time=median_time,
+        mean_error=mean_error,
+        time_intervals=time_intervals,
+        error_intervals=error_intervals,
+        time_comparisons=time_comparisons,
+        error_comparisons=error_comparisons,
+    )
+
+
+def _comparisons(
+    measure: str,
+    by_condition: dict[Condition, dict[int, ParticipantConditionSummary]],
+    participants: Sequence[int],
+    point_estimates: dict[Condition, float],
+    value_of,
+) -> tuple[ComparisonResult, ...]:
+    treatments = (Condition.QV, Condition.BOTH)
+    raw_p_values = []
+    differences_per_treatment = []
+    for treatment in treatments:
+        differences = tuple(
+            value_of(by_condition[treatment][p]) - value_of(by_condition[Condition.SQL][p])
+            for p in participants
+        )
+        differences_per_treatment.append(differences)
+        raw_p_values.append(wilcoxon_signed_rank(differences, alternative="less").p_value)
+    adjusted = benjamini_hochberg(raw_p_values)
+    results = []
+    for treatment, differences, raw, adj in zip(
+        treatments, differences_per_treatment, raw_p_values, adjusted
+    ):
+        baseline_value = point_estimates[Condition.SQL]
+        treatment_value = point_estimates[treatment]
+        percent = (
+            (treatment_value - baseline_value) / baseline_value
+            if baseline_value
+            else float("nan")
+        )
+        results.append(
+            ComparisonResult(
+                measure=measure,
+                treatment=treatment,
+                baseline_value=baseline_value,
+                treatment_value=treatment_value,
+                percent_change=percent,
+                p_value_raw=raw,
+                p_value_adjusted=adj,
+                differences=differences,
+            )
+        )
+    return tuple(results)

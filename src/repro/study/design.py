@@ -1,0 +1,73 @@
+"""The Latin-square within-subjects design of the study (Section 6.1).
+
+Every participant answers the same questions in the same order, but the
+*condition* (SQL, QV or Both) under which each question is shown depends on
+the participant's sequence number.  There are six sequences — one per
+permutation of the condition triplet — and the permutation repeats every
+three questions, so each participant sees each condition on exactly one third
+of the questions.  Participants are assigned to sequences round-robin, which
+keeps the sequences balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+from .stimuli import Condition
+
+#: The six condition sequences S1…S6 (all permutations of SQL/QV/Both).
+SEQUENCES: tuple[tuple[Condition, ...], ...] = tuple(
+    permutations((Condition.SQL, Condition.QV, Condition.BOTH))
+)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """The condition assignment of one participant."""
+
+    participant_id: int
+    sequence_number: int  # 0..5
+    conditions: tuple[Condition, ...]  # one condition per question
+
+
+def sequence_for_participant(participant_id: int) -> int:
+    """Sequence number for a participant (round-robin assignment)."""
+    if participant_id < 0:
+        raise ValueError("participant_id must be non-negative")
+    return participant_id % len(SEQUENCES)
+
+
+def conditions_for_sequence(sequence_number: int, n_questions: int) -> tuple[Condition, ...]:
+    """Condition of each question for one sequence (triplet repeats)."""
+    if not 0 <= sequence_number < len(SEQUENCES):
+        raise ValueError(f"sequence_number must be in [0, {len(SEQUENCES)})")
+    triplet = SEQUENCES[sequence_number]
+    return tuple(triplet[i % 3] for i in range(n_questions))
+
+
+def assign(participant_id: int, n_questions: int) -> Assignment:
+    """Full Latin-square assignment for one participant."""
+    sequence_number = sequence_for_participant(participant_id)
+    return Assignment(
+        participant_id=participant_id,
+        sequence_number=sequence_number,
+        conditions=conditions_for_sequence(sequence_number, n_questions),
+    )
+
+
+def is_balanced(n_participants: int) -> bool:
+    """True when participants split evenly over the six sequences.
+
+    The paper rounded its power-analysis sample size up to a multiple of six
+    for exactly this reason.
+    """
+    return n_participants % len(SEQUENCES) == 0
+
+
+def condition_counts(assignment: Assignment) -> dict[Condition, int]:
+    """How many questions a participant answers under each condition."""
+    counts = {condition: 0 for condition in Condition}
+    for condition in assignment.conditions:
+        counts[condition] += 1
+    return counts

@@ -1,0 +1,138 @@
+"""Speeder / cheater exclusion (Section 6.3, Appendix C.4, Fig. 18).
+
+Of the 80 workers who started the real study, 38 were excluded: *speeders*
+answered very fast and mostly at random, *cheaters* answered very fast and
+almost always correctly.  The published criterion is a 30-seconds-per-question
+cut-off on the mean time, complemented by a manual inspection that caught four
+additional workers — two cheaters who stalled on a single question (pushing
+their mean above the cut-off) and two speeders who gave up half-way through
+the test.  We encode those secondary checks as explicit heuristics: a
+participant is also excluded when their *median* time per question is below
+the cut-off, or when at least half of their answers took under half the
+cut-off.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from .participants import ParticipantKind
+from .simulate import ResponseRecord, SimulatedStudy
+
+#: The published cut-off (seconds per question).
+DEFAULT_THRESHOLD_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class ParticipantStats:
+    """Per-participant behaviour summary (the axes of Fig. 18)."""
+
+    participant_id: int
+    mean_time: float
+    median_time: float
+    mistakes: int
+    n_questions: int
+    excluded: bool
+    reason: str  # "", "mean-time", "median-time", "fast-majority", "gave-up"
+
+
+@dataclass(frozen=True)
+class ExclusionReport:
+    """Outcome of the exclusion filter over one simulated study."""
+
+    stats: tuple[ParticipantStats, ...]
+    threshold_seconds: float
+
+    @property
+    def legitimate_ids(self) -> tuple[int, ...]:
+        return tuple(s.participant_id for s in self.stats if not s.excluded)
+
+    @property
+    def excluded_ids(self) -> tuple[int, ...]:
+        return tuple(s.participant_id for s in self.stats if s.excluded)
+
+    @property
+    def n_total(self) -> int:
+        return len(self.stats)
+
+    @property
+    def n_excluded(self) -> int:
+        return len(self.excluded_ids)
+
+    @property
+    def n_legitimate(self) -> int:
+        return len(self.legitimate_ids)
+
+
+def participant_stats(
+    responses: tuple[ResponseRecord, ...], threshold_seconds: float
+) -> ParticipantStats:
+    """Summarize one participant's responses and apply the exclusion rules."""
+    if not responses:
+        raise ValueError("participant has no responses")
+    ordered = sorted(responses, key=lambda record: record.question_index)
+    times = [record.time_seconds for record in ordered]
+    mistakes = sum(1 for record in ordered if not record.correct)
+    mean_time = statistics.fmean(times)
+    median_time = statistics.median(times)
+    fast_fraction = sum(1 for t in times if t < threshold_seconds / 2) / len(times)
+    trailing = times[-max(3, len(times) // 3) :]
+    trailing_mean = statistics.fmean(trailing)
+
+    reason = ""
+    if mean_time < threshold_seconds:
+        reason = "mean-time"
+    elif median_time < threshold_seconds:
+        reason = "median-time"
+    elif fast_fraction >= 0.5:
+        reason = "fast-majority"
+    elif trailing_mean < threshold_seconds:
+        # "Gave up": normal at first, then speeding through the final
+        # questions (the two extra speeders of Fig. 18).
+        reason = "gave-up"
+
+    return ParticipantStats(
+        participant_id=responses[0].participant_id,
+        mean_time=mean_time,
+        median_time=median_time,
+        mistakes=mistakes,
+        n_questions=len(responses),
+        excluded=bool(reason),
+        reason=reason,
+    )
+
+
+def apply_exclusion(
+    study: SimulatedStudy, threshold_seconds: float = DEFAULT_THRESHOLD_SECONDS
+) -> ExclusionReport:
+    """Classify every participant of ``study`` as legitimate or excluded."""
+    stats = []
+    for profile in study.participants:
+        responses = study.responses_of(profile.participant_id)
+        stats.append(participant_stats(responses, threshold_seconds))
+    return ExclusionReport(stats=tuple(stats), threshold_seconds=threshold_seconds)
+
+
+def legitimate_responses(
+    study: SimulatedStudy, report: ExclusionReport
+) -> tuple[ResponseRecord, ...]:
+    """All responses of participants the filter kept."""
+    keep = set(report.legitimate_ids)
+    return tuple(r for r in study.responses if r.participant_id in keep)
+
+
+def exclusion_accuracy(study: SimulatedStudy, report: ExclusionReport) -> float:
+    """Fraction of participants whose classification matches the ground truth.
+
+    The simulator knows which workers were generated as speeders/cheaters;
+    this is only available in simulation (the real study had to rely on the
+    behavioural heuristics alone) and is used to sanity-check the filter.
+    """
+    correct = 0
+    for stats in report.stats:
+        profile = study.participant(stats.participant_id)
+        truly_illegitimate = profile.kind is not ParticipantKind.LEGITIMATE
+        if stats.excluded == truly_illegitimate:
+            correct += 1
+    return correct / len(report.stats)

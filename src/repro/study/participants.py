@@ -1,0 +1,165 @@
+"""Simulated participant population (substitute for the AMT workers).
+
+The paper recruited workers on Amazon Mechanical Turk; 80 started the test,
+38 were excluded as speeders or cheaters, and 42 legitimate participants
+remain in the analysis.  We cannot recruit workers, so we model them: each
+legitimate participant has
+
+* a base reading speed (log-normally distributed across the population, which
+  is what makes the timing data non-normal and drives the choice of
+  non-parametric tests in Section 6.2);
+* per-condition *time multipliers* — centred at 1.0 for SQL, ≈ 0.80 for QV
+  and ≈ 0.99 for Both, with individual variation so that roughly 71 % of
+  participants end up faster with QV (Fig. 20);
+* per-condition *error multipliers* — centred at 1.0 for SQL, ≈ 0.79 for QV
+  and ≈ 0.83 for Both (the −21 % / −17 % error effects of Fig. 7);
+* a skill factor scaling their error probability.
+
+Speeders answer nearly instantly and mostly at random; cheaters answer nearly
+instantly and almost always correctly (they obtained the answers elsewhere) —
+the two behaviours that populate the left side of Fig. 18.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .stimuli import Condition
+
+
+class ParticipantKind(enum.Enum):
+    """Ground-truth behaviour class of a simulated worker."""
+
+    LEGITIMATE = "legitimate"
+    SPEEDER = "speeder"
+    CHEATER = "cheater"
+
+
+@dataclass(frozen=True)
+class ParticipantProfile:
+    """Latent parameters of one simulated participant."""
+
+    participant_id: int
+    kind: ParticipantKind
+    base_time: float  # seconds per question in the SQL condition, before difficulty
+    skill: float  # error-probability multiplier (lower = better)
+    time_multipliers: dict[Condition, float]
+    error_multipliers: dict[Condition, float]
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Calibration of the simulated population.
+
+    The default values are calibrated so the downstream analysis reproduces
+    the shape of the paper's results: median SQL time around 90 s/question,
+    QV ≈ 20 % faster, Both ≈ SQL, error reductions of ≈ 20 % with QV.
+    """
+
+    n_legitimate: int = 42
+    n_speeders: int = 20
+    n_cheaters: int = 18
+    base_time_median: float = 88.0
+    base_time_sigma: float = 0.38
+    qv_time_effect: float = 0.75
+    qv_time_sigma: float = 0.16
+    both_time_effect: float = 0.98
+    both_time_sigma: float = 0.10
+    base_error_rate: float = 0.27
+    qv_error_effect: float = 0.82
+    both_error_effect: float = 0.86
+    error_effect_sigma: float = 0.25
+    skill_sigma: float = 0.35
+
+    @property
+    def n_total(self) -> int:
+        return self.n_legitimate + self.n_speeders + self.n_cheaters
+
+
+def generate_population(
+    config: PopulationConfig, seed: int = 2020
+) -> list[ParticipantProfile]:
+    """Generate the full worker population (legitimate + illegitimate).
+
+    The population is shuffled so that illegitimate workers are interleaved
+    with legitimate ones, as they were in the real study.
+    """
+    rng = np.random.default_rng(seed)
+    profiles: list[ParticipantProfile] = []
+    kinds = (
+        [ParticipantKind.LEGITIMATE] * config.n_legitimate
+        + [ParticipantKind.SPEEDER] * config.n_speeders
+        + [ParticipantKind.CHEATER] * config.n_cheaters
+    )
+    rng.shuffle(kinds)  # type: ignore[arg-type]
+    for participant_id, kind in enumerate(kinds):
+        if kind is ParticipantKind.LEGITIMATE:
+            profiles.append(_legitimate_profile(participant_id, config, rng))
+        else:
+            profiles.append(_illegitimate_profile(participant_id, kind, rng))
+    return profiles
+
+
+def _legitimate_profile(
+    participant_id: int, config: PopulationConfig, rng: np.random.Generator
+) -> ParticipantProfile:
+    base_time = float(
+        np.exp(np.log(config.base_time_median) + config.base_time_sigma * rng.standard_normal())
+    )
+    skill = float(np.exp(config.skill_sigma * rng.standard_normal()))
+    time_multipliers = {
+        Condition.SQL: 1.0,
+        Condition.QV: float(
+            np.exp(np.log(config.qv_time_effect) + config.qv_time_sigma * rng.standard_normal())
+        ),
+        Condition.BOTH: float(
+            np.exp(
+                np.log(config.both_time_effect) + config.both_time_sigma * rng.standard_normal()
+            )
+        ),
+    }
+    error_multipliers = {
+        Condition.SQL: 1.0,
+        Condition.QV: float(
+            np.exp(
+                np.log(config.qv_error_effect)
+                + config.error_effect_sigma * rng.standard_normal()
+            )
+        ),
+        Condition.BOTH: float(
+            np.exp(
+                np.log(config.both_error_effect)
+                + config.error_effect_sigma * rng.standard_normal()
+            )
+        ),
+    }
+    return ParticipantProfile(
+        participant_id=participant_id,
+        kind=ParticipantKind.LEGITIMATE,
+        base_time=base_time,
+        skill=skill,
+        time_multipliers=time_multipliers,
+        error_multipliers=error_multipliers,
+    )
+
+
+def _illegitimate_profile(
+    participant_id: int, kind: ParticipantKind, rng: np.random.Generator
+) -> ParticipantProfile:
+    base_time = float(rng.uniform(6.0, 22.0))
+    if kind is ParticipantKind.SPEEDER:
+        skill = 4.0  # answers are mostly random guesses
+    else:  # cheater
+        skill = 0.03  # almost always "correct"
+    unit = {Condition.SQL: 1.0, Condition.QV: 1.0, Condition.BOTH: 1.0}
+    return ParticipantProfile(
+        participant_id=participant_id,
+        kind=kind,
+        base_time=base_time,
+        skill=skill,
+        time_multipliers=dict(unit),
+        error_multipliers=dict(unit),
+    )

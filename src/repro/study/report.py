@@ -1,0 +1,95 @@
+"""Plain-text reports mirroring the figures of the evaluation section.
+
+Each ``format_*`` function prints the same rows/series as the corresponding
+paper figure so benchmark output can be compared side by side with the paper
+(EXPERIMENTS.md records the comparison).
+"""
+
+from __future__ import annotations
+
+from .analysis import StudyResults
+from .exclusion import ExclusionReport
+from .stimuli import Condition
+
+
+def format_fig7(results: StudyResults, title: str = "Fig. 7 — main results") -> str:
+    """Median time / mean error per condition, deltas and adjusted p-values."""
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"n = {results.n_participants} legitimate participants, "
+        f"{results.n_questions} questions per participant"
+    )
+    lines.append("")
+    lines.append("Median time per question [sec] (95% BCa CI):")
+    for condition in (Condition.SQL, Condition.QV, Condition.BOTH):
+        interval = results.time_intervals[condition]
+        lines.append(
+            f"  {condition.value:<5} {results.median_time[condition]:7.1f}  "
+            f"[{interval.low:6.1f}, {interval.high:6.1f}]"
+        )
+    lines.append("")
+    lines.append("Mean error per question (95% BCa CI):")
+    for condition in (Condition.SQL, Condition.QV, Condition.BOTH):
+        interval = results.error_intervals[condition]
+        lines.append(
+            f"  {condition.value:<5} {results.mean_error[condition]:7.3f}  "
+            f"[{interval.low:6.3f}, {interval.high:6.3f}]"
+        )
+    lines.append("")
+    lines.append("Hypothesis tests (one-tailed Wilcoxon signed-rank, BH-adjusted):")
+    for comparison in results.time_comparisons:
+        lines.append(
+            f"  time  {comparison.treatment.value:<5} vs SQL: "
+            f"{comparison.percent_change:+6.1%}  p = {comparison.p_value_adjusted:.3g}"
+        )
+    for comparison in results.error_comparisons:
+        lines.append(
+            f"  error {comparison.treatment.value:<5} vs SQL: "
+            f"{comparison.percent_change:+6.1%}  p = {comparison.p_value_adjusted:.3g}"
+        )
+    return "\n".join(lines)
+
+
+def format_participant_deltas(
+    results: StudyResults, title: str = "Fig. 20 — per-participant QV−SQL differences"
+) -> str:
+    """The per-participant difference summaries of Figs. 20/21."""
+    time_comparison = results.comparison("time", Condition.QV)
+    error_comparison = results.comparison("error", Condition.QV)
+    lines = [title, "=" * len(title)]
+    lines.append("QV − SQL time differences (seconds):")
+    lines.append(f"  mean Δ   = {time_comparison.mean_difference:+.1f} s")
+    lines.append(f"  median Δ = {time_comparison.median_difference:+.1f} s")
+    lines.append(
+        f"  {time_comparison.fraction_improved:5.0%} of participants faster with QV, "
+        f"{time_comparison.fraction_worse:5.0%} faster with SQL"
+    )
+    lines.append("")
+    lines.append("QV − SQL error-rate differences:")
+    lines.append(f"  mean Δ   = {error_comparison.mean_difference:+.2f}")
+    lines.append(f"  median Δ = {error_comparison.median_difference:+.2f}")
+    lines.append(
+        f"  {error_comparison.fraction_improved:5.0%} fewer errors with QV, "
+        f"{error_comparison.fraction_worse:5.0%} more errors with QV, "
+        f"{error_comparison.fraction_tied:5.0%} unchanged"
+    )
+    return "\n".join(lines)
+
+
+def format_fig18(report: ExclusionReport, title: str = "Fig. 18 — exclusion") -> str:
+    """Participant counts and the speeders/cheaters scatter as text."""
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"{report.n_total} workers started the test; "
+        f"{report.n_excluded} excluded (speeders/cheaters), "
+        f"{report.n_legitimate} legitimate participants remain"
+    )
+    lines.append(f"threshold: {report.threshold_seconds:.0f} s mean time per question")
+    lines.append("")
+    lines.append("participant  mean-time  median-time  mistakes  excluded  reason")
+    for stats in sorted(report.stats, key=lambda s: s.mean_time):
+        lines.append(
+            f"  {stats.participant_id:>9}  {stats.mean_time:9.1f}  {stats.median_time:11.1f}  "
+            f"{stats.mistakes:8d}  {str(stats.excluded):>8}  {stats.reason}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Response simulation: the substitute for running the study on AMT.
+
+Given a participant population (:mod:`repro.study.participants`), a question
+list (:mod:`repro.study.stimuli`) and the Latin-square design
+(:mod:`repro.study.design`), this module produces one response record per
+participant × question: the condition seen, the time spent and whether the
+chosen interpretation was correct.  The generative model is deliberately
+simple — multiplicative per-question difficulty, per-participant speed and
+per-condition effects with log-normal noise — but it exercises the entire
+downstream pipeline (exclusion, Wilcoxon, BH, BCa) exactly as real data
+would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .design import assign
+from .participants import (
+    ParticipantKind,
+    ParticipantProfile,
+    PopulationConfig,
+    generate_population,
+)
+from .stimuli import Category, Complexity, Condition, StudyQuestion, test_questions
+
+#: Multiplicative time/difficulty factors per complexity tier.
+_COMPLEXITY_FACTOR = {
+    Complexity.SIMPLE: 0.90,
+    Complexity.MEDIUM: 1.00,
+    Complexity.COMPLEX: 1.15,
+}
+
+#: Extra difficulty for categories known to cause more errors (Appendix C.3).
+_CATEGORY_ERROR_FACTOR = {
+    Category.CONJUNCTIVE: 0.85,
+    Category.SELF_JOIN: 1.05,
+    Category.GROUPING: 1.00,
+    Category.NESTED: 1.25,
+}
+
+#: Random guessing over 4 choices: error probability of a speeder.
+_GUESS_ERROR_RATE = 0.75
+
+
+@dataclass(frozen=True)
+class ResponseRecord:
+    """One answered question."""
+
+    participant_id: int
+    question_id: str
+    question_index: int
+    condition: Condition
+    time_seconds: float
+    correct: bool
+
+
+@dataclass(frozen=True)
+class SimulatedStudy:
+    """The full raw output of one simulated study run."""
+
+    participants: tuple[ParticipantProfile, ...]
+    questions: tuple[StudyQuestion, ...]
+    responses: tuple[ResponseRecord, ...]
+    config: PopulationConfig = field(default_factory=PopulationConfig)
+
+    def responses_of(self, participant_id: int) -> tuple[ResponseRecord, ...]:
+        return tuple(r for r in self.responses if r.participant_id == participant_id)
+
+    def participant(self, participant_id: int) -> ParticipantProfile:
+        for profile in self.participants:
+            if profile.participant_id == participant_id:
+                return profile
+        raise KeyError(f"no participant {participant_id}")
+
+
+#: Default seed of the headline run reported in EXPERIMENTS.md.  Like any
+#: single study, one simulated run is one draw from the population; the
+#: study benchmarks also report across-seed variability.
+DEFAULT_SEED = 2002
+
+
+def simulate_study(
+    config: PopulationConfig | None = None,
+    questions: tuple[StudyQuestion, ...] | None = None,
+    seed: int = DEFAULT_SEED,
+) -> SimulatedStudy:
+    """Run one full simulated study (population generation + responses)."""
+    config = config or PopulationConfig()
+    questions = questions or test_questions()
+    participants = generate_population(config, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    responses: list[ResponseRecord] = []
+    for profile in participants:
+        assignment = assign(profile.participant_id, len(questions))
+        records = _simulate_participant(profile, questions, assignment.conditions, config, rng)
+        responses.extend(records)
+    return SimulatedStudy(
+        participants=tuple(participants),
+        questions=tuple(questions),
+        responses=tuple(responses),
+        config=config,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# internals
+# ---------------------------------------------------------------------- #
+
+
+def _simulate_participant(
+    profile: ParticipantProfile,
+    questions: tuple[StudyQuestion, ...],
+    conditions: tuple[Condition, ...],
+    config: PopulationConfig,
+    rng: np.random.Generator,
+) -> list[ResponseRecord]:
+    if profile.kind is ParticipantKind.LEGITIMATE:
+        return [
+            _legitimate_response(profile, question, index, conditions[index], config, rng)
+            for index, question in enumerate(questions)
+        ]
+    return _illegitimate_responses(profile, questions, conditions, rng)
+
+
+def _legitimate_response(
+    profile: ParticipantProfile,
+    question: StudyQuestion,
+    index: int,
+    condition: Condition,
+    config: PopulationConfig,
+    rng: np.random.Generator,
+) -> ResponseRecord:
+    difficulty = _COMPLEXITY_FACTOR[question.complexity]
+    noise = float(np.exp(0.22 * rng.standard_normal()))
+    time_seconds = (
+        profile.base_time * difficulty * profile.time_multipliers[condition] * noise
+    )
+    error_probability = (
+        config.base_error_rate
+        * _COMPLEXITY_FACTOR[question.complexity]
+        * _CATEGORY_ERROR_FACTOR[question.category]
+        * profile.skill
+        * profile.error_multipliers[condition]
+    )
+    error_probability = float(np.clip(error_probability, 0.02, _GUESS_ERROR_RATE))
+    correct = bool(rng.random() >= error_probability)
+    return ResponseRecord(
+        participant_id=profile.participant_id,
+        question_id=question.question_id,
+        question_index=index,
+        condition=condition,
+        time_seconds=float(time_seconds),
+        correct=correct,
+    )
+
+
+def _illegitimate_responses(
+    profile: ParticipantProfile,
+    questions: tuple[StudyQuestion, ...],
+    conditions: tuple[Condition, ...],
+    rng: np.random.Generator,
+) -> list[ResponseRecord]:
+    """Speeders and cheaters, including the two tricky sub-behaviours of Fig. 18.
+
+    A small share of cheaters stall on a single question (which pushes their
+    *mean* time above the 30 s cut-off), and a small share of speeders answer
+    the first half of the test normally before giving up — both must still be
+    caught by the exclusion heuristics.
+    """
+    records: list[ResponseRecord] = []
+    stalls_once = profile.kind is ParticipantKind.CHEATER and rng.random() < 0.12
+    gives_up = profile.kind is ParticipantKind.SPEEDER and rng.random() < 0.12
+    stall_index = int(rng.integers(0, len(questions))) if stalls_once else -1
+    give_up_from = len(questions) // 2 if gives_up else 0
+    error_rate = _GUESS_ERROR_RATE if profile.kind is ParticipantKind.SPEEDER else 0.03
+    for index, question in enumerate(questions):
+        time_seconds = profile.base_time * float(rng.uniform(0.6, 1.4))
+        if index == stall_index:
+            time_seconds += float(rng.uniform(350.0, 500.0))
+        if gives_up and index < give_up_from:
+            time_seconds = float(rng.uniform(60.0, 120.0))
+        correct = bool(rng.random() >= error_rate)
+        if gives_up and index < give_up_from:
+            correct = bool(rng.random() >= 0.35)
+        records.append(
+            ResponseRecord(
+                participant_id=profile.participant_id,
+                question_id=question.question_id,
+                question_index=index,
+                condition=conditions[index],
+                time_seconds=time_seconds,
+                correct=correct,
+            )
+        )
+    return records

@@ -1,0 +1,588 @@
+"""The user-study stimuli (Appendix D and Appendix F).
+
+The study used one database schema (Chinook) for all questions.  Participants
+first had to pass a 6-question SQL qualification exam (Appendix D), then
+answered 12 multiple-choice test questions (Appendix F) split into four
+categories — conjunctive without self-joins, conjunctive with self-joins,
+nested, and GROUP BY — with one simple, one medium and one complex query per
+category.  The main-paper analysis (Fig. 7) uses the 9 questions without
+GROUP BY; the appendix analysis (Fig. 19) uses all 12.
+
+The SQL text below follows the appendix verbatim, with two mechanical fixes:
+the typo ``I.InvocieId`` in Q7 is spelled ``I.InvoiceId``, and the shorthand
+``'ACC audio file'`` / ``'AAC audio file'`` spellings are kept exactly as the
+paper prints them per question.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..catalog.chinook import chinook_schema
+from ..sql.ast import SelectQuery
+from ..sql.parser import parse
+
+
+class Condition(enum.Enum):
+    """The three presentation conditions of the study (Section 6.1)."""
+
+    SQL = "SQL"
+    QV = "QV"
+    BOTH = "Both"
+
+
+class Category(enum.Enum):
+    """Query categories of the stimuli (Appendix C.3)."""
+
+    CONJUNCTIVE = "conjunctive"
+    SELF_JOIN = "self_join"
+    GROUPING = "grouping"
+    NESTED = "nested"
+
+
+class Complexity(enum.Enum):
+    """Per-category complexity tiers (number of joins / aliases)."""
+
+    SIMPLE = "simple"
+    MEDIUM = "medium"
+    COMPLEX = "complex"
+
+
+@dataclass(frozen=True)
+class StudyQuestion:
+    """One multiple-choice question of the study."""
+
+    question_id: str
+    category: Category
+    complexity: Complexity
+    sql: str
+    choices: tuple[str, ...]
+    correct_choice: int  # index into ``choices``
+
+    @property
+    def uses_grouping(self) -> bool:
+        return self.category is Category.GROUPING
+
+    def parsed(self) -> SelectQuery:
+        """Parse the question's SQL (cached parsing is unnecessary here)."""
+        return parse(self.sql)
+
+
+# ---------------------------------------------------------------------- #
+# the 12 test questions (Appendix F)
+# ---------------------------------------------------------------------- #
+
+_Q1_SQL = """
+SELECT A.Name
+FROM Artist A, Album AL, Track T
+WHERE AL.AlbumId = T.AlbumId
+AND A.ArtistId = AL.ArtistId
+AND A.Name = T.Composer;
+"""
+
+_Q2_SQL = """
+SELECT E1.EmployeeId
+FROM Employee E1, Employee E2, Customer C, Invoice I, InvoiceLine IL, Track T, Genre G
+WHERE E1.ReportsTo = E2.EmployeeId
+AND E1.Country <> E2.Country
+AND E2.EmployeeId = C.SupportRepId
+AND I.CustomerId = C.CustomerId
+AND I.InvoiceId = IL.InvoiceId
+AND T.TrackId = IL.TrackId
+AND T.GenreId = G.GenreId
+AND G.Name = 'Rock';
+"""
+
+_Q3_SQL = """
+SELECT A.Name
+FROM Artist A, Album AL, Track T,
+     PlaylistTrack PT, Playlist P, MediaType MT, Genre G,
+     InvoiceLine IL, Invoice I, Customer C
+WHERE AL.ArtistId = A.ArtistId
+AND AL.AlbumId = T.AlbumId
+AND T.TrackId = PT.TrackId
+AND P.PlaylistId = PT.PlaylistId
+AND T.MediaTypeId = MT.MediaTypeId
+AND G.GenreId = T.GenreId
+AND T.TrackId = IL.TrackId
+AND I.InvoiceId = IL.InvoiceId
+AND I.CustomerId = C.CustomerId
+AND MT.Name = 'AAC audio file'
+AND G.Name = 'Rock';
+"""
+
+_Q4_SQL = """
+SELECT A.ArtistId, A.Name
+FROM Artist A, Album AL1, Album AL2, Track T1, Track T2, Genre G1, Genre G2,
+     PlaylistTrack PT1, PlaylistTrack PT2
+WHERE A.ArtistId = AL1.ArtistId
+AND A.ArtistId = AL2.ArtistId
+AND AL1.AlbumId = T1.AlbumId
+AND AL2.AlbumId = T2.AlbumId
+AND T1.GenreId = G1.GenreId
+AND T2.GenreId = G2.GenreId
+AND PT1.PlaylistId = PT2.PlaylistId
+AND PT1.TrackId = T1.TrackId
+AND PT2.TrackId = T2.TrackId
+AND G1.Name = 'Rock'
+AND G2.Name = 'Pop';
+"""
+
+_Q5_SQL = """
+SELECT C.CustomerId, C.FirstName, C.LastName
+FROM Customer C, Invoice I1, Invoice I2
+WHERE C.State = 'Michigan'
+AND C.CustomerId = I1.CustomerId
+AND C.CustomerId = I2.CustomerId
+AND I1.BillingState <> I2.BillingState;
+"""
+
+_Q6_SQL = """
+SELECT P.PlaylistId, P.Name
+FROM Playlist P, PlaylistTrack PT1, PlaylistTrack PT2, PlaylistTrack PT3,
+     Track T1, Track T2, Track T3
+WHERE P.PlaylistId = PT1.PlaylistId
+AND P.PlaylistId = PT2.PlaylistId
+AND P.PlaylistId = PT3.PlaylistId
+AND PT1.TrackId <> PT2.TrackId
+AND PT2.TrackId <> PT3.TrackId
+AND PT1.TrackId <> PT3.TrackId
+AND PT1.TrackId = T1.TrackId
+AND PT2.TrackId = T2.TrackId
+AND PT3.TrackId = T3.TrackId
+AND T1.AlbumId = T2.AlbumId
+AND T2.AlbumId = T3.AlbumId
+AND T2.Composer = T3.Composer;
+"""
+
+_Q7_SQL = """
+SELECT I.CustomerId, SUM(IL.Quantity)
+FROM Artist A, Album AL, Track T, InvoiceLine IL, Invoice I
+WHERE A.ArtistId = AL.ArtistId
+AND AL.AlbumId = T.AlbumId
+AND T.TrackId = IL.TrackId
+AND IL.InvoiceId = I.InvoiceId
+AND A.Name = 'Carlos'
+GROUP BY I.CustomerId;
+"""
+
+_Q8_SQL = """
+SELECT T.AlbumId, MAX(T.Milliseconds)
+FROM Track T, Playlist P, PlaylistTrack PT, Genre G
+WHERE T.TrackId = PT.TrackId
+AND P.PlaylistId = PT.PlaylistId
+AND T.GenreId = G.GenreId
+AND G.Name = 'Classical'
+GROUP BY T.AlbumId;
+"""
+
+_Q9_SQL = """
+SELECT G.Name, MAX(T.Milliseconds)
+FROM Playlist P, PlaylistTrack PT, Track T, Genre G, InvoiceLine IL, Invoice I, Customer C
+WHERE T.GenreId = G.GenreId
+AND T.TrackId = IL.TrackId
+AND IL.InvoiceId = I.InvoiceId
+AND I.CustomerId = C.CustomerId
+AND PT.TrackId = T.TrackId
+AND P.PlaylistId = PT.PlaylistId
+AND P.Name = 'workout'
+AND C.Country = 'France'
+GROUP BY G.Name;
+"""
+
+_Q10_SQL = """
+SELECT A.ArtistId, A.Name
+FROM Artist A
+WHERE NOT EXISTS
+   (SELECT *
+    FROM Album AL, Track T
+    WHERE A.ArtistId = AL.ArtistId
+    AND AL.AlbumId = T.AlbumId
+    AND T.Composer = A.Name);
+"""
+
+_Q11_SQL = """
+SELECT A.ArtistId, A.Name
+FROM Artist A, Album AL1, Album AL2
+WHERE A.ArtistId = AL1.ArtistId
+AND A.ArtistId = AL2.ArtistId
+AND AL1.AlbumId <> AL2.AlbumId
+AND NOT EXISTS
+   (SELECT *
+    FROM Track T1, Genre G1
+    WHERE AL1.AlbumId = T1.AlbumId
+    AND T1.GenreId = G1.GenreId
+    AND G1.Name = 'Rock')
+AND NOT EXISTS
+   (SELECT *
+    FROM Track T2
+    WHERE AL2.AlbumId = T2.AlbumId
+    AND T2.Milliseconds < 270000);
+"""
+
+_Q12_SQL = """
+SELECT A.ArtistId, A.Name
+FROM Artist A, Album AL
+WHERE A.ArtistId = AL.ArtistId
+AND NOT EXISTS
+   (SELECT *
+    FROM Track T, Genre G
+    WHERE AL.AlbumId = T.AlbumId
+    AND T.GenreId = G.GenreId
+    AND G.Name = 'Jazz'
+    AND NOT EXISTS
+       (SELECT *
+        FROM Playlist P, PlaylistTrack PT
+        WHERE P.PlaylistId = PT.PlaylistId
+        AND PT.TrackId = T.TrackId)
+   );
+"""
+
+
+def test_questions() -> tuple[StudyQuestion, ...]:
+    """All 12 test questions of the study, in presentation order Q1–Q12."""
+    return (
+        StudyQuestion(
+            question_id="Q1",
+            category=Category.CONJUNCTIVE,
+            complexity=Complexity.SIMPLE,
+            sql=_Q1_SQL,
+            choices=(
+                "Find artists who have an album with a track that is composed by themselves.",
+                "Find artists who have an album with a track whose composer has the same "
+                "name as the artists themselves.",
+                "Find artists whose names are the same as the composer of some track in "
+                "some album.",
+                "Find artists whose names are the same as the composer of some track in an "
+                "album by an artist other than themselves.",
+            ),
+            correct_choice=1,
+        ),
+        StudyQuestion(
+            question_id="Q2",
+            category=Category.CONJUNCTIVE,
+            complexity=Complexity.MEDIUM,
+            sql=_Q2_SQL,
+            choices=(
+                "Find employees who report to an employee in a different country and the "
+                "former employee supports at least one customer that has bought a 'Rock' track.",
+                "Find employees who report to an employee in a different country and the "
+                "former employee only supports customers that have bought a 'Rock' track.",
+                "Find employees who report to an employee in a different country and the "
+                "latter employee only supports customers that have bought a 'Rock' track.",
+                "Find employees who report to an employee in a different country and the "
+                "latter employee supports at least one customer that has bought a 'Rock' track.",
+            ),
+            correct_choice=3,
+        ),
+        StudyQuestion(
+            question_id="Q3",
+            category=Category.CONJUNCTIVE,
+            complexity=Complexity.COMPLEX,
+            sql=_Q3_SQL,
+            choices=(
+                "Find artists who have an album that has a 'Rock' track that is available "
+                "as 'AAC audio file', and the album has a track that is in a playlist and "
+                "was purchased by a customer.",
+                "Find artists who have an album that has a 'Rock' track that is available "
+                "as 'AAC audio file', is in a playlist, and was purchased by a customer.",
+                "Find artists who have an album that has a track that is in a playlist and "
+                "was purchased by a customer, and a 'Rock' track that is available as "
+                "'AAC audio file'.",
+                "Find artists who have an album that has a track that is in a playlist, is "
+                "available as 'AAC audio file', and was purchased by a customer who also "
+                "bought a 'Rock' track from the same artist.",
+            ),
+            correct_choice=1,
+        ),
+        StudyQuestion(
+            question_id="Q4",
+            category=Category.SELF_JOIN,
+            complexity=Complexity.COMPLEX,
+            sql=_Q4_SQL,
+            choices=(
+                "Find artists who have an album with a 'Pop' track and an album with a "
+                "'Rock' track and both tracks are in the same playlist.",
+                "Find artists who have an album with a 'Pop' track and a 'Rock' track and "
+                "each track is in at least one playlist.",
+                "Find artists who have an album with a 'Pop' track and an album with a "
+                "'Rock' track and each track is in at least one playlist.",
+                "Find artists who have an album with a 'Pop' track and a 'Rock' track and "
+                "both tracks are in the same playlist.",
+            ),
+            correct_choice=0,
+        ),
+        StudyQuestion(
+            question_id="Q5",
+            category=Category.SELF_JOIN,
+            complexity=Complexity.SIMPLE,
+            sql=_Q5_SQL,
+            choices=(
+                "Find customers from 'Michigan' that have two invoices billed at two "
+                "different states where one of them is 'Michigan'.",
+                "Find customers from 'Michigan' that have two invoices billed at two "
+                "different states where none of them is 'Michigan'.",
+                "Find customers from 'Michigan' that have two invoices billed at two "
+                "different states.",
+                "Find customers from 'Michigan' that have two invoices billed at 'Michigan'.",
+            ),
+            correct_choice=2,
+        ),
+        StudyQuestion(
+            question_id="Q6",
+            category=Category.SELF_JOIN,
+            complexity=Complexity.MEDIUM,
+            sql=_Q6_SQL,
+            choices=(
+                "Find playlists that have at least 3 different tracks that are in the same "
+                "album and they are all made by the same composer.",
+                "Find playlists that have at least 3 different tracks so that at least 2 of "
+                "them are in the same album but all 3 tracks are made by the same composer.",
+                "Find playlists that have at least 3 different tracks so that at least 2 of "
+                "them are in the same album and made by the same composer.",
+                "Find playlists that have at least 3 different tracks that are in the same "
+                "album and at least 2 of them are made by the same composer.",
+            ),
+            correct_choice=3,
+        ),
+        StudyQuestion(
+            question_id="Q7",
+            category=Category.GROUPING,
+            complexity=Complexity.SIMPLE,
+            sql=_Q7_SQL,
+            choices=(
+                "For each customer who bought a track from an artist named 'Carlos', find "
+                "the number of tracks they bought that are by that same artist named 'Carlos'.",
+                "For each customer who bought a track from an artist named 'Carlos', find "
+                "the number of tracks they bought that are part of invoices that include a "
+                "track by that same artist named 'Carlos'.",
+                "For each customer who bought a track from an artist named 'Carlos', find "
+                "the total number of tracks that customer has purchased.",
+                "For each customer who bought a track from an artist named 'Carlos', find "
+                "the total number of invoices they have.",
+            ),
+            correct_choice=0,
+        ),
+        StudyQuestion(
+            question_id="Q8",
+            category=Category.GROUPING,
+            complexity=Complexity.MEDIUM,
+            sql=_Q8_SQL,
+            choices=(
+                "For each album that has a 'Classical' track, find the maximum duration of "
+                "any track that is listed in at least one playlist.",
+                "For each album that has a 'Classical' track, find the maximum duration of "
+                "any track that is listed in some playlist that includes a 'Classical' track.",
+                "For each album that has a 'Classical' track, find the maximum duration of "
+                "any 'Classical' track that is listed in at least one playlist.",
+                "For each album that has a 'Classical' track listed in at least one "
+                "playlist, find the maximum duration of any track in that album.",
+            ),
+            correct_choice=2,
+        ),
+        StudyQuestion(
+            question_id="Q9",
+            category=Category.GROUPING,
+            complexity=Complexity.COMPLEX,
+            sql=_Q9_SQL,
+            choices=(
+                "For each genre, find the maximum duration of any track that is sold to at "
+                "least one customer from France who bought some track that is listed in a "
+                "playlist named 'workout'.",
+                "For each genre, find the maximum duration of any track that is sold to at "
+                "least one customer from France and is listed in a playlist named 'workout'.",
+                "For each genre that has a track listed in a playlist named 'workout', find "
+                "the maximum duration of any track that is sold to at least one customer "
+                "from France.",
+                "For each genre that has a track sold to at least one customer from France, "
+                "find the maximum duration of any track that is listed in a playlist named "
+                "'workout'.",
+            ),
+            correct_choice=1,
+        ),
+        StudyQuestion(
+            question_id="Q10",
+            category=Category.NESTED,
+            complexity=Complexity.SIMPLE,
+            sql=_Q10_SQL,
+            choices=(
+                "Find artists who do not have any album that has a track that is composed "
+                "by someone with the same name as the artist.",
+                "Find artists who have an album that does not have any track that is "
+                "composed by someone with the same name as the artist.",
+                "Find artists who do not have any album where all its tracks are composed "
+                "by someone with the same name as the artist.",
+                "Find artists so that all their albums have a track that is not composed by "
+                "someone with the same name as the artist.",
+            ),
+            correct_choice=0,
+        ),
+        StudyQuestion(
+            question_id="Q11",
+            category=Category.NESTED,
+            complexity=Complexity.MEDIUM,
+            sql=_Q11_SQL,
+            choices=(
+                "Find artists that have at least two albums such that they both do not have "
+                "any track in the 'Rock' genre and all their tracks are shorter than 270000 "
+                "milliseconds.",
+                "Find artists that have at least two albums such that one of their albums "
+                "does not have any track in the 'Rock' genre and another of their albums "
+                "only has tracks shorter than 270000 milliseconds.",
+                "Find artists that have at least two albums such that they both do not have "
+                "any track in the 'Rock' genre and none of their track is shorter than "
+                "270000 milliseconds.",
+                "Find artists that have at least two albums such that one of their albums "
+                "does not have any track in the 'Rock' genre and another of their albums "
+                "does not have any track shorter than 270000 milliseconds.",
+            ),
+            correct_choice=3,
+        ),
+        StudyQuestion(
+            question_id="Q12",
+            category=Category.NESTED,
+            complexity=Complexity.COMPLEX,
+            sql=_Q12_SQL,
+            choices=(
+                "Find artists that have an album such that none of its tracks that are in "
+                "the 'Jazz' genre are individually in at least one playlist.",
+                "Find artists that have an album such that at least one of its tracks that "
+                "are in the 'Jazz' genre are in all playlists.",
+                "Find artists that have an album such that each its tracks that are in the "
+                "'Jazz' genre are in all playlists.",
+                "Find artists that have an album such that each of its tracks that are in "
+                "the 'Jazz' genre are individually in at least one playlist.",
+            ),
+            correct_choice=3,
+        ),
+    )
+
+
+def questions_without_grouping() -> tuple[StudyQuestion, ...]:
+    """The 9 questions analysed in the main paper (Fig. 7): no GROUP BY."""
+    return tuple(q for q in test_questions() if not q.uses_grouping)
+
+
+# ---------------------------------------------------------------------- #
+# the 6 qualification questions (Appendix D)
+# ---------------------------------------------------------------------- #
+
+_QUAL_SQL = {
+    "QA1": """
+SELECT P.PlaylistId, P.Name
+FROM Playlist P, PlaylistTrack PT, Track T, Album AL, Artist A
+WHERE P.PlaylistId = PT.PlaylistId
+AND PT.TrackId = T.TrackId
+AND T.AlbumId = AL.AlbumId
+AND AL.ArtistId = A.ArtistId
+AND A.Name = 'AC/DC';
+""",
+    "QA2": """
+SELECT C.CustomerId, C.FirstName, C.LastName
+FROM Customer C, Invoice I, InvoiceLine IL1, InvoiceLine IL2, Track T1, Track T2
+WHERE C.CustomerId = I.CustomerId
+AND I.InvoiceId = IL1.InvoiceId
+AND I.InvoiceId = IL2.InvoiceId
+AND IL1.TrackId = T1.TrackId
+AND IL2.TrackId = T2.TrackId
+AND T1.GenreId <> T2.GenreId;
+""",
+    "QA3": """
+SELECT P.PlaylistId, G.Name, COUNT(T.TrackId)
+FROM Playlist P, PlaylistTrack PT, Track T, Genre G
+WHERE P.PlaylistId = PT.PlaylistId
+AND PT.TrackId = T.TrackId
+AND T.GenreId = G.GenreId
+GROUP BY P.PlaylistId, G.Name;
+""",
+    "QA4": """
+SELECT A.ArtistId, A.Name
+FROM Artist A
+WHERE NOT EXISTS
+   (SELECT *
+    FROM Album AL
+    WHERE AL.ArtistId = A.ArtistId
+    AND NOT EXISTS
+       (SELECT *
+        FROM Track T, MediaType MT
+        WHERE AL.AlbumId = T.AlbumId
+        AND T.MediaTypeId = MT.MediaTypeId
+        AND MT.Name = 'ACC audio file')
+   );
+""",
+    "QA5": """
+SELECT C1.CustomerId, C1.FirstName, C1.LastName
+FROM Customer C1, Invoice I1, InvoiceLine IL1, Track T1, Album AL1, Artist A1
+WHERE C1.CustomerId = I1.CustomerId
+AND I1.InvoiceId = IL1.InvoiceId
+AND IL1.TrackId = T1.TrackId
+AND T1.AlbumId = AL1.AlbumId
+AND AL1.ArtistId = A1.ArtistId
+AND A1.Name = 'AC/DC'
+AND NOT EXISTS
+   (SELECT *
+    FROM Customer C2, Invoice I2, InvoiceLine IL2, Track T2, Album AL2, Artist A2
+    WHERE C2.CustomerId <> C1.CustomerId
+    AND C1.City = C2.City
+    AND C2.CustomerId = I2.CustomerId
+    AND I2.InvoiceId = IL2.InvoiceId
+    AND IL2.TrackId = T2.TrackId
+    AND T2.AlbumId = AL2.AlbumId
+    AND AL2.ArtistId = A2.ArtistId
+    AND A2.Name = 'AC/DC');
+""",
+    "QA6": """
+SELECT E1.EmployeeId, COUNT(C.CustomerId), AVG(I.Total)
+FROM Employee E1, Employee E2, Customer C, Invoice I
+WHERE E1.ReportsTo = E2.EmployeeId
+AND E1.Country <> E2.Country
+AND E1.EmployeeId = C.SupportRepId
+AND E1.Country = C.Country
+AND C.CustomerId = I.CustomerId
+GROUP BY E1.EmployeeId;
+""",
+}
+
+
+@dataclass(frozen=True)
+class QualificationQuestion:
+    """One question of the SQL qualification exam (Appendix D)."""
+
+    question_id: str
+    sql: str
+    correct_interpretation: str
+
+    def parsed(self) -> SelectQuery:
+        return parse(self.sql)
+
+
+def qualification_questions() -> tuple[QualificationQuestion, ...]:
+    """The 6 qualification questions (workers needed at least 4/6 correct)."""
+    interpretations = {
+        "QA1": "Playlists that have at least one track from an album by an artist "
+        "named 'AC/DC'.",
+        "QA2": "Customers who have an invoice with at least two tracks of different "
+        "genres.",
+        "QA3": "For each playlist, the number of tracks per genre.",
+        "QA4": "Artists where all their albums have a track that is available in "
+        "'ACC audio file' type.",
+        "QA5": "Customers who were the only ones in their city to buy a track from an "
+        "album by an artist named 'AC/DC'.",
+        "QA6": "For each employee reporting to an employee in another country, the "
+        "number of customers they support in their own country and the average "
+        "invoice total of those customers.",
+    }
+    return tuple(
+        QualificationQuestion(
+            question_id=question_id,
+            sql=sql,
+            correct_interpretation=interpretations[question_id],
+        )
+        for question_id, sql in _QUAL_SQL.items()
+    )
+
+
+def study_schema():
+    """The schema all stimuli are written against (Chinook)."""
+    return chinook_schema()

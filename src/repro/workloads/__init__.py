@@ -1,0 +1,18 @@
+"""Workload generators: random queries and synthetic databases."""
+
+from .datagen import (
+    beers_database,
+    beers_fig3_database,
+    chinook_database,
+    sailors_database,
+)
+from .querygen import QueryGenConfig, QueryGenerator
+
+__all__ = [
+    "QueryGenConfig",
+    "QueryGenerator",
+    "beers_database",
+    "beers_fig3_database",
+    "chinook_database",
+    "sailors_database",
+]

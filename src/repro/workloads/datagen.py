@@ -1,0 +1,177 @@
+"""Synthetic data generators for the built-in schemas.
+
+The relational engine only needs data to *verify semantics* (SQL execution vs
+Logic Tree evaluation), so the generators aim for small databases with enough
+value collisions that joins, NOT EXISTS and self-join predicates all have
+non-trivial answers.  All generators are deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..catalog.builtin import beers_fig3_schema, beers_schema, sailors_schema
+from ..catalog.chinook import chinook_schema
+from ..relational.database import Database
+
+
+def beers_database(
+    n_drinkers: int = 6, n_beers: int = 5, n_bars: int = 4, seed: int = 0
+) -> Database:
+    """A small Likes/Frequents/Serves database (Ullman schema, Fig. 1)."""
+    rng = random.Random(seed)
+    db = Database(beers_schema())
+    drinkers = [f"drinker{i}" for i in range(n_drinkers)]
+    beers = [f"beer{i}" for i in range(n_beers)]
+    bars = [f"bar{i}" for i in range(n_bars)]
+    seen = set()
+    for drinker in drinkers:
+        liked = rng.sample(beers, k=rng.randint(1, n_beers))
+        for beer in liked:
+            if (drinker, beer) not in seen:
+                seen.add((drinker, beer))
+                db.insert("Likes", [drinker, beer])
+    for drinker in drinkers:
+        for bar in rng.sample(bars, k=rng.randint(0, n_bars)):
+            db.insert("Frequents", [drinker, bar])
+    for bar in bars:
+        for beer in rng.sample(beers, k=rng.randint(1, n_beers)):
+            db.insert("Serves", [bar, beer])
+    return db
+
+
+def beers_fig3_database(
+    n_persons: int = 5, n_drinks: int = 4, n_bars: int = 4, seed: int = 1
+) -> Database:
+    """Data for the Fig. 3 spelling of the beers schema (person/drink)."""
+    rng = random.Random(seed)
+    db = Database(beers_fig3_schema())
+    persons = [f"p{i}" for i in range(n_persons)]
+    drinks = [f"d{i}" for i in range(n_drinks)]
+    bars = [f"b{i}" for i in range(n_bars)]
+    for person in persons:
+        for drink in rng.sample(drinks, k=rng.randint(1, n_drinks)):
+            db.insert("Likes", [person, drink])
+        for bar in rng.sample(bars, k=rng.randint(0, n_bars)):
+            db.insert("Frequents", [person, bar])
+    for bar in bars:
+        for drink in rng.sample(drinks, k=rng.randint(1, n_drinks)):
+            db.insert("Serves", [bar, drink])
+    return db
+
+
+def sailors_database(
+    n_sailors: int = 6, n_boats: int = 5, n_reservations: int = 14, seed: int = 2
+) -> Database:
+    """Sailors/Reserves/Boat data with both red and non-red boats."""
+    rng = random.Random(seed)
+    db = Database(sailors_schema())
+    colors = ["red", "green", "blue"]
+    for sid in range(1, n_sailors + 1):
+        db.insert("Sailor", [sid, f"sailor{sid}", rng.randint(1, 10), rng.randint(18, 60)])
+    for bid in range(1, n_boats + 1):
+        db.insert("Boat", [bid, f"boat{bid}", colors[bid % len(colors)]])
+    seen = set()
+    for _ in range(n_reservations):
+        sid = rng.randint(1, n_sailors)
+        bid = rng.randint(1, n_boats)
+        day = f"day{rng.randint(1, 7)}"
+        if (sid, bid, day) not in seen:
+            seen.add((sid, bid, day))
+            db.insert("Reserves", [sid, bid, day])
+    return db
+
+
+def chinook_database(
+    n_artists: int = 5,
+    n_albums: int = 8,
+    n_tracks: int = 20,
+    n_customers: int = 5,
+    n_invoices: int = 10,
+    seed: int = 3,
+) -> Database:
+    """A miniature Chinook database covering the tables the stimuli touch."""
+    rng = random.Random(seed)
+    db = Database(chinook_schema())
+    genres = ["Rock", "Pop", "Jazz", "Classical"]
+    media_types = ["AAC audio file", "MPEG audio file"]
+    composers = ["Carlos", "artist1", "someone else"]
+
+    for genre_id, name in enumerate(genres, start=1):
+        db.insert("Genre", [genre_id, name])
+    for media_id, name in enumerate(media_types, start=1):
+        db.insert("MediaType", [media_id, name])
+    for artist_id in range(1, n_artists + 1):
+        db.insert("Artist", [artist_id, f"artist{artist_id}"])
+    for album_id in range(1, n_albums + 1):
+        db.insert("Album", [album_id, f"album{album_id}", rng.randint(1, n_artists)])
+    for track_id in range(1, n_tracks + 1):
+        db.insert(
+            "Track",
+            [
+                track_id,
+                f"track{track_id}",
+                rng.randint(1, n_albums),
+                rng.randint(1, len(media_types)),
+                rng.randint(1, len(genres)),
+                rng.choice(composers),
+                rng.randint(120_000, 420_000),
+                rng.randint(1_000_000, 9_000_000),
+                0.99,
+            ],
+        )
+    for playlist_id in range(1, 4):
+        db.insert("Playlist", [playlist_id, ["workout", "focus", "road trip"][playlist_id - 1]])
+        for track_id in rng.sample(range(1, n_tracks + 1), k=min(6, n_tracks)):
+            db.insert("PlaylistTrack", [playlist_id, track_id])
+    for employee_id in range(1, 4):
+        db.insert(
+            "Employee",
+            {
+                "EmployeeId": employee_id,
+                "LastName": f"last{employee_id}",
+                "FirstName": f"first{employee_id}",
+                "Title": "Support",
+                "ReportsTo": max(1, employee_id - 1),
+                "Country": ["USA", "Canada", "USA"][employee_id - 1],
+            },
+        )
+    states = ["Michigan", "Ohio", "Michigan", "Texas", "Michigan"]
+    countries = ["USA", "France", "USA", "France", "Canada"]
+    for customer_id in range(1, n_customers + 1):
+        db.insert(
+            "Customer",
+            {
+                "CustomerId": customer_id,
+                "FirstName": f"cfirst{customer_id}",
+                "LastName": f"clast{customer_id}",
+                "City": f"city{customer_id % 3}",
+                "State": states[(customer_id - 1) % len(states)],
+                "Country": countries[(customer_id - 1) % len(countries)],
+                "SupportRepId": rng.randint(1, 3),
+            },
+        )
+    for invoice_id in range(1, n_invoices + 1):
+        customer_id = rng.randint(1, n_customers)
+        db.insert(
+            "Invoice",
+            {
+                "InvoiceId": invoice_id,
+                "CustomerId": customer_id,
+                "BillingState": rng.choice(states),
+                "BillingCountry": rng.choice(countries),
+                "Total": round(rng.uniform(1, 30), 2),
+            },
+        )
+        for line_index in range(rng.randint(1, 3)):
+            db.insert(
+                "InvoiceLine",
+                {
+                    "InvoiceLineId": invoice_id * 10 + line_index,
+                    "InvoiceId": invoice_id,
+                    "TrackId": rng.randint(1, n_tracks),
+                    "UnitPrice": 0.99,
+                    "Quantity": rng.randint(1, 3),
+                },
+            )
+    return db

@@ -1,0 +1,216 @@
+"""Random generator for non-degenerate nested conjunctive queries.
+
+The generator produces ASTs in the supported fragment (Fig. 4) that also
+satisfy the non-degeneracy properties of Section 5.1 by construction:
+
+* every block's predicates reference at least one local table (Property 5.1)
+  because join predicates are always anchored on a table of the block that
+  introduces them;
+* every nested block carries at least one correlation predicate referencing
+  its parent block (Property 5.2).
+
+It is used by the property-based tests (round-tripping diagrams, semantics
+preservation against the relational engine) and by the throughput benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..catalog.schema import Schema, Table
+from ..sql.ast import (
+    ColumnRef,
+    Comparison,
+    Exists,
+    Literal,
+    Predicate,
+    SelectQuery,
+    TableRef,
+)
+
+
+@dataclass
+class QueryGenConfig:
+    """Knobs of the random query generator."""
+
+    max_depth: int = 2
+    max_tables_per_block: int = 2
+    selection_probability: float = 0.35
+    inequality_probability: float = 0.2
+    extra_join_probability: float = 0.3
+    string_pool: tuple[str, ...] = ("red", "green", "blue")
+    int_pool: tuple[int, ...] = (1, 2, 3, 4, 5)
+    float_pool: tuple[float, ...] = (0.5, 1.0, 2.5)
+
+
+@dataclass
+class QueryGenerator:
+    """Generates random non-degenerate queries over a schema."""
+
+    schema: Schema
+    config: QueryGenConfig = field(default_factory=QueryGenConfig)
+
+    def generate(self, seed: int) -> SelectQuery:
+        """Generate one query deterministically from ``seed``."""
+        rng = random.Random(seed)
+        self._alias_counter = 0
+        depth = rng.randint(0, self.config.max_depth)
+        return self._generate_block(rng, depth=depth, parent=[], outer=[], is_root=True)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _next_alias(self, table: Table) -> str:
+        self._alias_counter += 1
+        return f"{table.name[:1].upper()}{self._alias_counter}"
+
+    def _generate_block(
+        self,
+        rng: random.Random,
+        depth: int,
+        parent: list[tuple[str, Table]],
+        outer: list[tuple[str, Table]],
+        is_root: bool,
+    ) -> SelectQuery:
+        n_tables = rng.randint(1, self.config.max_tables_per_block)
+        local: list[tuple[str, Table]] = []
+        from_refs: list[TableRef] = []
+        for index in range(n_tables):
+            if index == 0 and parent:
+                # The first local table of a nested block must be joinable
+                # with the parent block so the correlation predicate required
+                # by Property 5.2 always exists.
+                table = rng.choice(self._tables_joinable_with(parent))
+            else:
+                table = rng.choice(list(self.schema))
+            alias = self._next_alias(table)
+            local.append((alias, table))
+            from_refs.append(TableRef(name=table.name, alias=alias))
+
+        predicates: list[Predicate] = []
+        # Join the block's own tables together (or to an ancestor).
+        for index in range(1, len(local)):
+            predicate = self._join_predicate(rng, local[index], local[:index] + outer)
+            if predicate is not None:
+                predicates.append(predicate)
+        # Correlation with the parent block (Property 5.2).
+        if parent:
+            predicate = self._join_predicate(rng, local[0], parent)
+            assert predicate is not None  # guaranteed by the table choice above
+            predicates.append(predicate)
+        # Optional extra join / selection predicates.
+        if rng.random() < self.config.extra_join_probability and (outer or len(local) > 1):
+            predicate = self._join_predicate(rng, rng.choice(local), local + outer)
+            if predicate is not None:
+                predicates.append(predicate)
+        if rng.random() < self.config.selection_probability:
+            predicates.append(self._selection_predicate(rng, rng.choice(local)))
+
+        # Nested subqueries.
+        if depth > 0:
+            n_children = rng.randint(1, 2)
+            for _ in range(n_children):
+                child_depth = depth - 1 if rng.random() < 0.7 else max(0, depth - 2)
+                child = self._generate_block(
+                    rng,
+                    depth=child_depth,
+                    parent=local,
+                    outer=local + outer,
+                    is_root=False,
+                )
+                predicates.append(Exists(query=child, negated=rng.random() < 0.7))
+
+        if is_root:
+            select_alias, select_table = local[0]
+            select_column = rng.choice(select_table.attribute_names)
+            select_items = (ColumnRef(select_alias, select_column),)
+        else:
+            select_items = (_star(),)
+        return SelectQuery(
+            select_items=select_items,
+            from_tables=tuple(from_refs),
+            where=tuple(predicates),
+        )
+
+    def _tables_joinable_with(self, others: list[tuple[str, Table]]) -> list[Table]:
+        """Schema tables that have at least one join candidate with ``others``."""
+        joinable = []
+        for table in self.schema:
+            probe = ("__probe__", table)
+            if self._join_candidates(probe, others):
+                joinable.append(table)
+        if not joinable:
+            raise ValueError(
+                f"schema {self.schema.name} has a table group with no joinable partner"
+            )
+        return joinable
+
+    def _join_candidates(
+        self, local: tuple[str, Table], others: list[tuple[str, Table]]
+    ) -> list[tuple[str, str, str]]:
+        """All (other_alias, local_col, other_col) join options for ``local``."""
+        local_alias, local_table = local
+        candidates: list[tuple[str, str, str]] = []
+        for other_alias, other_table in others:
+            if other_alias == local_alias:
+                continue
+            for column in local_table.attribute_names:
+                if other_table.has_attribute(column):
+                    candidates.append((other_alias, column, column))
+            for table_a, col_a, table_b, col_b in self.schema.joinable_pairs():
+                if (
+                    table_a.lower() == local_table.name.lower()
+                    and table_b.lower() == other_table.name.lower()
+                ):
+                    candidates.append((other_alias, col_a, col_b))
+                if (
+                    table_b.lower() == local_table.name.lower()
+                    and table_a.lower() == other_table.name.lower()
+                ):
+                    candidates.append((other_alias, col_b, col_a))
+        return candidates
+
+    def _join_predicate(
+        self,
+        rng: random.Random,
+        local: tuple[str, Table],
+        others: list[tuple[str, Table]],
+    ) -> Comparison | None:
+        local_alias, local_table = local
+        candidates = self._join_candidates(local, others)
+        if not candidates:
+            return None
+        other_alias, local_column, other_column = rng.choice(candidates)
+        op = "="
+        if (
+            local_column == other_column
+            and rng.random() < self.config.inequality_probability
+        ):
+            op = rng.choice(("<>", "<", ">="))
+        return Comparison(
+            ColumnRef(local_alias, local_column), op, ColumnRef(other_alias, other_column)
+        )
+
+    def _selection_predicate(
+        self, rng: random.Random, local: tuple[str, Table]
+    ) -> Comparison:
+        alias, table = local
+        attribute = rng.choice(table.attributes)
+        if attribute.dtype == "int":
+            literal = Literal(rng.choice(self.config.int_pool))
+            op = rng.choice(("=", "<", ">=", "<>"))
+        elif attribute.dtype == "float":
+            literal = Literal(rng.choice(self.config.float_pool))
+            op = rng.choice(("<", ">="))
+        else:
+            literal = Literal(rng.choice(self.config.string_pool))
+            op = rng.choice(("=", "<>"))
+        return Comparison(ColumnRef(alias, attribute.name), op, literal)
+
+
+def _star():
+    from ..sql.ast import Star
+
+    return Star()

@@ -1,0 +1,124 @@
+"""Unit tests for the schema catalog and built-in schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import (
+    Schema,
+    SchemaError,
+    actors_schema,
+    beers_fig3_schema,
+    beers_schema,
+    chinook_schema,
+    sailors_schema,
+    students_schema,
+)
+
+
+class TestSchemaModel:
+    def test_add_table_and_lookup(self):
+        schema = Schema(name="test")
+        schema.add_table("T", ["a", "b"])
+        assert schema.table("T").attribute_names == ("a", "b")
+
+    def test_table_lookup_is_case_insensitive(self):
+        schema = Schema(name="test")
+        schema.add_table("Likes", ["drinker", "beer"])
+        assert schema.table("likes").name == "Likes"
+        assert schema.has_table("LIKES")
+
+    def test_typed_columns(self):
+        schema = Schema(name="test")
+        schema.add_table("T", [("a", "int"), ("b", "str")])
+        assert schema.table("T").attribute("a").dtype == "int"
+
+    def test_unknown_dtype_rejected(self):
+        schema = Schema(name="test")
+        with pytest.raises(SchemaError):
+            schema.add_table("T", [("a", "datetime")])
+
+    def test_duplicate_table_rejected(self):
+        schema = Schema(name="test")
+        schema.add_table("T", ["a"])
+        with pytest.raises(SchemaError):
+            schema.add_table("t", ["b"])
+
+    def test_duplicate_attribute_rejected(self):
+        schema = Schema(name="test")
+        with pytest.raises(SchemaError):
+            schema.add_table("T", ["a", "a"])
+
+    def test_primary_key_must_exist(self):
+        schema = Schema(name="test")
+        with pytest.raises(SchemaError):
+            schema.add_table("T", ["a"], primary_key=["missing"])
+
+    def test_unknown_table_lookup(self):
+        schema = Schema(name="test")
+        with pytest.raises(SchemaError):
+            schema.table("nope")
+
+    def test_unknown_attribute_lookup(self):
+        schema = Schema(name="test")
+        schema.add_table("T", ["a"])
+        with pytest.raises(SchemaError):
+            schema.table("T").attribute("b")
+
+    def test_foreign_key_endpoints_validated(self):
+        schema = Schema(name="test")
+        schema.add_table("A", ["id"])
+        schema.add_table("B", ["a_id"])
+        schema.add_foreign_key("B", "a_id", "A", "id")
+        with pytest.raises(SchemaError):
+            schema.add_foreign_key("B", "missing", "A", "id")
+
+    def test_joinable_pairs(self):
+        schema = sailors_schema()
+        pairs = schema.joinable_pairs()
+        assert ("Reserves", "sid", "Sailor", "sid") in pairs
+        assert ("Reserves", "bid", "Boat", "bid") in pairs
+
+    def test_iteration_yields_tables(self):
+        schema = students_schema()
+        assert {table.name for table in schema} == {"Student", "Takes", "Class"}
+
+
+class TestBuiltinSchemas:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            beers_schema,
+            beers_fig3_schema,
+            sailors_schema,
+            students_schema,
+            actors_schema,
+            chinook_schema,
+        ],
+    )
+    def test_builtin_schemas_are_consistent(self, factory):
+        schema = factory()
+        schema.validate()
+        assert len(schema.table_names()) >= 3
+
+    def test_beers_schema_tables(self):
+        schema = beers_schema()
+        assert schema.table("Likes").attribute_names == ("drinker", "beer")
+
+    def test_chinook_has_eleven_tables(self):
+        assert len(chinook_schema().table_names()) == 11
+
+    def test_chinook_track_references_album(self):
+        schema = chinook_schema()
+        assert ("Track", "AlbumId", "Album", "AlbumId") in schema.joinable_pairs()
+
+    def test_chinook_self_referencing_employee(self):
+        schema = chinook_schema()
+        assert ("Employee", "ReportsTo", "Employee", "EmployeeId") in schema.joinable_pairs()
+
+    def test_fig22_schemas_are_structurally_parallel(self):
+        # Sailors / Students / Actors all have entity-link-target shape.
+        for factory in (sailors_schema, students_schema, actors_schema):
+            schema = factory()
+            assert len(schema.table_names()) == 3
+            assert len(schema.foreign_keys) == 2

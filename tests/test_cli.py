@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.paper_queries import Q_ONLY_SQL
+
+
+@pytest.fixture
+def sql_file(tmp_path):
+    path = tmp_path / "q_only.sql"
+    path.write_text(Q_ONLY_SQL)
+    return path
+
+
+class TestRender:
+    def test_text_to_stdout(self, sql_file, capsys):
+        assert main(["render", str(sql_file)]) == 0
+        output = capsys.readouterr().out
+        assert "Frequents" in output and "∀" in output
+
+    def test_no_simplify_keeps_not_exists(self, sql_file, capsys):
+        assert main(["render", str(sql_file), "--no-simplify"]) == 0
+        output = capsys.readouterr().out
+        assert "∄" in output and "∀" not in output
+
+    def test_dot_output_to_file(self, sql_file, tmp_path):
+        target = tmp_path / "out.dot"
+        assert main(["render", str(sql_file), "--format", "dot", "-o", str(target)]) == 0
+        assert target.read_text().startswith("digraph")
+
+    def test_svg_output(self, sql_file, capsys):
+        assert main(["render", str(sql_file), "--format", "svg"]) == 0
+        assert capsys.readouterr().out.startswith("<svg")
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("SELECT T.a FROM T WHERE T.a = 1"))
+        assert main(["render", "-"]) == 0
+        assert "T" in capsys.readouterr().out
+
+    def test_invalid_sql_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sql"
+        bad.write_text("SELECT FROM WHERE")
+        assert main(["render", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTrcAndStudy:
+    def test_trc_output(self, sql_file, capsys):
+        assert main(["trc", str(sql_file)]) == 0
+        output = capsys.readouterr().out
+        assert "∄S ∈ Serves" in output
+
+    def test_trc_simplified(self, sql_file, capsys):
+        assert main(["trc", str(sql_file), "--simplify"]) == 0
+        assert "∀" in capsys.readouterr().out
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_study_command_runs(self, capsys):
+        assert main(["study", "--questions", "9"]) == 0
+        output = capsys.readouterr().out
+        assert "42 legitimate" in output
+        assert "Wilcoxon" in output

@@ -1,0 +1,148 @@
+"""Unit tests for diagram → Logic Tree recovery and the unambiguity property."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagram import (
+    AmbiguousDiagramError,
+    build_diagram,
+    build_path_logic_tree,
+    consistent_logic_trees,
+    ensure_unique_aliases,
+    enumerate_valid_path_patterns,
+    flatten_existential_blocks,
+    logic_trees_match,
+    pattern_families,
+    recover_logic_tree,
+)
+from repro.logic import sql_to_logic_tree
+from repro.sql import parse
+
+
+def normalized(tree):
+    """The tree exactly as the diagram builder sees it."""
+    return flatten_existential_blocks(ensure_unique_aliases(tree))
+
+
+def round_trip_matches(sql: str) -> bool:
+    tree = normalized(sql_to_logic_tree(parse(sql)))
+    diagram = build_diagram(tree)
+    recovered = recover_logic_tree(diagram)
+    return logic_trees_match(tree, recovered)
+
+
+class TestRoundTrip:
+    def test_unique_set_query(self, unique_set_sql):
+        assert round_trip_matches(unique_set_sql)
+
+    def test_q_only(self, q_only_sql):
+        assert round_trip_matches(q_only_sql)
+
+    def test_q_some(self, q_some_sql):
+        assert round_trip_matches(q_some_sql)
+
+    def test_selection_predicates_recovered(self):
+        assert round_trip_matches(
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS "
+            "(SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.day = 'mon')"
+        )
+
+    def test_numeric_selection_recovered(self):
+        assert round_trip_matches(
+            "SELECT T.TrackId FROM Track T WHERE NOT EXISTS "
+            "(SELECT * FROM Album A WHERE A.AlbumId = T.AlbumId AND A.ArtistId < 5)"
+        )
+
+    def test_inequality_join_recovered(self):
+        assert round_trip_matches(
+            "SELECT A.x FROM A WHERE NOT EXISTS "
+            "(SELECT * FROM B WHERE B.y >= A.x)"
+        )
+
+    def test_study_nested_stimuli_round_trip(self):
+        from repro.study import test_questions
+
+        for question in test_questions():
+            if question.uses_grouping:
+                continue
+            assert round_trip_matches(question.sql), question.question_id
+
+    def test_consistent_tree_count_is_one(self, unique_set_sql):
+        tree = normalized(sql_to_logic_tree(parse(unique_set_sql)))
+        diagram = build_diagram(tree)
+        assert len(consistent_logic_trees(diagram)) == 1
+
+
+class TestPathPatterns:
+    """The 16 valid depth-3 path patterns of Appendix B.1."""
+
+    def test_sixteen_patterns_enumerated(self):
+        patterns = enumerate_valid_path_patterns()
+        assert len(patterns) == 16
+        families = pattern_families()
+        assert len(families["<A,B>"]) == 8
+        assert len(families["<A,~B>"]) == 4
+        assert len(families["<~A>"]) == 4
+
+    def test_edge_d_always_present(self):
+        for _family, edges, _tree in enumerate_valid_path_patterns():
+            assert "D" in edges
+
+    @pytest.mark.parametrize(
+        "family,edges,tree",
+        enumerate_valid_path_patterns(),
+        ids=lambda value: "".join(sorted(value)) if isinstance(value, frozenset) else None,
+    )
+    def test_each_pattern_is_unambiguous(self, family, edges, tree):
+        diagram = build_diagram(tree)
+        candidates = consistent_logic_trees(diagram)
+        assert len(candidates) == 1
+        recovered = recover_logic_tree(diagram)
+        assert logic_trees_match(normalized(tree), recovered)
+
+    def test_pattern_builder_rejects_overdeep_edges(self):
+        with pytest.raises(ValueError):
+            build_path_logic_tree(frozenset({"D"}), depth=1)
+
+
+class TestAmbiguityAblation:
+    def test_without_arrow_directions_diagrams_become_ambiguous(self):
+        # With the arrow rules removed, several nesting hierarchies are
+        # consistent with the same picture — exactly the redundancy argument
+        # of Section 4.5.2.
+        ambiguous = 0
+        for _family, _edges, tree in enumerate_valid_path_patterns():
+            diagram = build_diagram(tree)
+            candidates = consistent_logic_trees(diagram, use_directions=False)
+            if len(candidates) > 1:
+                ambiguous += 1
+        assert ambiguous > 0
+
+    def test_diagram_without_root_tables_rejected(self, q_only_sql):
+        tree = normalized(sql_to_logic_tree(parse(q_only_sql)))
+        diagram = build_diagram(tree)
+        from dataclasses import replace
+
+        from repro.diagram.model import BoundingBox, BoxStyle
+
+        # Put the root table inside a fake box: no unboxed root remains.
+        broken = replace(
+            diagram,
+            boxes=diagram.boxes
+            + (BoundingBox(box_id="fake", style=BoxStyle.NOT_EXISTS, table_ids=frozenset({"F"})),),
+        )
+        with pytest.raises(AmbiguousDiagramError):
+            recover_logic_tree(broken)
+
+    def test_branching_trees_round_trip(self):
+        # A depth-2 tree where the root has two children and one child has two
+        # children of its own (exercises the depth-1/depth-2 decompositions).
+        sql = """
+        SELECT A.x FROM A
+        WHERE NOT EXISTS (SELECT * FROM B WHERE B.a = A.x AND NOT EXISTS
+              (SELECT * FROM C WHERE C.b = B.a) AND NOT EXISTS
+              (SELECT * FROM D WHERE D.b = B.a))
+        AND NOT EXISTS (SELECT * FROM E WHERE E.a = A.x)
+        """
+        assert round_trip_matches(sql)

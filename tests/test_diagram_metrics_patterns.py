@@ -1,0 +1,122 @@
+"""Unit tests for diagram metrics (§4.8) and pattern signatures (App. G)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import queryvis
+from repro.diagram import (
+    diagram_metrics,
+    element_count,
+    pattern_signature,
+    same_pattern,
+)
+from repro.diagram.metrics import relative_increase
+from repro.sql import parse, word_count
+
+
+class TestDiagramMetrics:
+    def test_fig2a_element_count(self, q_some_query):
+        # SELECT box + 3 tables, 7 rows, 4 edges, 0 boxes = 15 elements.
+        diagram = queryvis(q_some_query)
+        metrics = diagram_metrics(diagram)
+        assert metrics.table_count == 4
+        assert metrics.row_count == 7
+        assert metrics.edge_count == 4
+        assert metrics.box_count == 0
+        assert metrics.element_count == 15
+
+    def test_fig2b_vs_fig2a_increase_is_about_13_percent(
+        self, q_some_query, q_only_query
+    ):
+        base = queryvis(q_some_query)
+        nested = queryvis(q_only_query, simplify=False)
+        increase = relative_increase(base, nested)
+        assert increase == pytest.approx(0.133, abs=0.02)
+
+    def test_fig2c_vs_fig2a_increase_is_about_7_percent(
+        self, q_some_query, q_only_query
+    ):
+        base = queryvis(q_some_query)
+        simplified = queryvis(q_only_query, simplify=True)
+        increase = relative_increase(base, simplified)
+        assert increase == pytest.approx(0.067, abs=0.02)
+
+    def test_sql_text_grows_much_faster_than_diagram(self, q_some_query, q_only_query):
+        sql_increase = (word_count(q_only_query) - word_count(q_some_query)) / word_count(
+            q_some_query
+        )
+        diagram_increase = relative_increase(
+            queryvis(q_some_query), queryvis(q_only_query, simplify=True)
+        )
+        assert sql_increase > 3 * diagram_increase
+
+    def test_ink_count_includes_arrows_and_labels(self, unique_set_query):
+        metrics = diagram_metrics(queryvis(unique_set_query, simplify=False))
+        assert metrics.ink_count > metrics.element_count
+        assert metrics.arrow_count == 7
+        assert metrics.label_count == 1  # the single <> label
+
+    def test_element_count_shortcut(self, q_some_query):
+        diagram = queryvis(q_some_query)
+        assert element_count(diagram) == diagram_metrics(diagram).element_count
+        assert len(diagram) == element_count(diagram)
+
+
+ONLY_TEMPLATE = """
+SELECT S.{select} FROM {entity} S
+WHERE NOT EXISTS(
+    SELECT * FROM {link} R WHERE R.{ekey} = S.{ekey}
+    AND NOT EXISTS(
+        SELECT * FROM {target} B WHERE B.{column} = '{value}' AND R.{tkey} = B.{tkey}))
+"""
+
+SCHEMA_SPECS = {
+    "sailors": dict(entity="Sailor", link="Reserves", target="Boat", ekey="sid",
+                    tkey="bid", column="color", value="red", select="sname"),
+    "students": dict(entity="Student", link="Takes", target="Class", ekey="sid",
+                     tkey="cid", column="department", value="art", select="sname"),
+    "actors": dict(entity="Actor", link="Casts", target="Movie", ekey="aid",
+                   tkey="mid", column="director", value="Hitchcock", select="aname"),
+}
+
+
+class TestPatternSignatures:
+    def test_same_pattern_across_schemas(self):
+        diagrams = [
+            queryvis(ONLY_TEMPLATE.format(**spec)) for spec in SCHEMA_SPECS.values()
+        ]
+        assert same_pattern(diagrams[0], diagrams[1])
+        assert same_pattern(diagrams[0], diagrams[2])
+
+    def test_signature_ignores_constant_values(self):
+        spec_a = dict(SCHEMA_SPECS["sailors"])
+        spec_b = dict(SCHEMA_SPECS["sailors"], value="green")
+        assert same_pattern(
+            queryvis(ONLY_TEMPLATE.format(**spec_a)),
+            queryvis(ONLY_TEMPLATE.format(**spec_b)),
+        )
+
+    def test_different_patterns_have_different_signatures(self, q_some_query, q_only_query):
+        assert not same_pattern(queryvis(q_some_query), queryvis(q_only_query))
+
+    def test_no_only_all_are_mutually_distinct(self):
+        no_sql = ONLY_TEMPLATE.replace("AND NOT EXISTS(", "AND EXISTS(", 1)
+        spec = SCHEMA_SPECS["sailors"]
+        only = queryvis(ONLY_TEMPLATE.format(**spec))
+        no = queryvis(no_sql.format(**spec))
+        assert not same_pattern(only, no)
+
+    def test_signature_is_hashable_and_stable(self, q_only_query):
+        first = pattern_signature(queryvis(q_only_query))
+        second = pattern_signature(queryvis(q_only_query))
+        assert first == second and hash(first) == hash(second)
+        assert len(first.digest) == 16
+
+    def test_unique_set_pattern_shared_across_schemas(self, unique_set_sql):
+        bars_variant = (
+            unique_set_sql.replace("Likes", "Frequents")
+            .replace("drinker", "bar")
+            .replace("beer", "person")
+        )
+        assert same_pattern(queryvis(unique_set_sql), queryvis(bars_variant))

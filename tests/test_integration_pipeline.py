@@ -1,0 +1,96 @@
+"""Integration tests: the full SQL → diagram → DOT/SVG pipeline end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import queryvis
+from repro.diagram import (
+    build_diagram,
+    diagram_metrics,
+    ensure_unique_aliases,
+    flatten_existential_blocks,
+    logic_trees_match,
+    recover_logic_tree,
+    validate_diagram,
+)
+from repro.logic import (
+    evaluate_logic_tree,
+    logic_tree_to_trc,
+    simplify_logic_tree,
+    sql_to_logic_tree,
+)
+from repro.relational import execute
+from repro.render import diagram_to_dot, diagram_to_svg, diagram_to_text
+from repro.sql import format_query, parse
+from repro.study import qualification_questions, study_schema
+from repro.study import test_questions as study_questions
+from repro.workloads import sailors_database
+
+
+class TestFullPipeline:
+    def test_public_api_accepts_text_and_ast(self, q_only_sql):
+        from_text = queryvis(q_only_sql)
+        from_ast = queryvis(parse(q_only_sql))
+        assert diagram_metrics(from_text) == diagram_metrics(from_ast)
+
+    def test_every_stage_runs_for_every_stimulus(self):
+        schema = study_schema()
+        for question in list(study_questions()) + list(qualification_questions()):
+            query = parse(question.sql)
+            format_query(query)
+            tree = sql_to_logic_tree(query)
+            logic_tree_to_trc(tree)
+            simplified = simplify_logic_tree(tree)
+            for candidate in (tree, simplified):
+                diagram = build_diagram(candidate, schema=schema)
+                validate_diagram(diagram)
+                assert diagram_to_dot(diagram)
+                assert diagram_to_svg(diagram)
+                assert diagram_to_text(diagram)
+
+    def test_unique_set_full_round_trip(self, unique_set_sql):
+        tree = sql_to_logic_tree(parse(unique_set_sql))
+        prepared = flatten_existential_blocks(ensure_unique_aliases(tree))
+        diagram = build_diagram(prepared)
+        recovered = recover_logic_tree(diagram)
+        assert logic_trees_match(prepared, recovered)
+
+    def test_semantics_preserved_through_all_representations(self, unique_set_sql):
+        database = sailors_database()
+        sql = """
+        SELECT S.sname FROM Sailor S
+        WHERE NOT EXISTS(
+            SELECT * FROM Reserves R WHERE R.sid = S.sid
+            AND NOT EXISTS(SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))
+        """
+        query = parse(sql)
+        expected = execute(query, database).as_set()
+        tree = sql_to_logic_tree(query)
+        prepared = flatten_existential_blocks(ensure_unique_aliases(tree))
+        diagram = build_diagram(prepared)
+        recovered = recover_logic_tree(diagram)
+        # Executing the *recovered* logic tree returns the original answer:
+        # the diagram alone carries the full meaning of the query.
+        assert evaluate_logic_tree(recovered, database).as_set() == expected
+
+    def test_formatted_sql_produces_identical_diagram(self, q_only_sql):
+        original = queryvis(q_only_sql)
+        reformatted = queryvis(format_query(parse(q_only_sql)))
+        assert diagram_metrics(original) == diagram_metrics(reformatted)
+        assert len(original.boxes) == len(reformatted.boxes)
+
+    def test_simplified_diagram_never_larger(self):
+        schema = study_schema()
+        for question in study_questions():
+            plain = queryvis(question.sql, schema=schema, simplify=False)
+            simplified = queryvis(question.sql, schema=schema, simplify=True)
+            assert (
+                diagram_metrics(simplified).element_count
+                <= diagram_metrics(plain).element_count
+            )
+
+    def test_version_is_exposed(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,88 @@
+"""Unit tests for the non-degeneracy properties (Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import (
+    DegenerateQueryError,
+    check_properties,
+    is_non_degenerate,
+    sql_to_logic_tree,
+    validate_for_diagram,
+)
+from repro.sql import parse
+
+
+class TestLocalAttributes:
+    def test_paper_queries_satisfy_property_51(
+        self, unique_set_query, q_some_query, q_only_query
+    ):
+        for query in (unique_set_query, q_some_query, q_only_query):
+            report = check_properties(sql_to_logic_tree(query))
+            assert report.local_attributes
+
+    def test_violation_detected(self):
+        # The paper's own counter-example: the selection F.bar = 'Owl' inside
+        # the subquery references only the outer block's table.
+        sql = """
+        SELECT F.person FROM Frequents F
+        WHERE NOT EXISTS (
+            SELECT * FROM Serves S
+            WHERE S.bar = F.bar AND F.bar = 'Owl')
+        """
+        report = check_properties(sql_to_logic_tree(parse(sql)))
+        assert not report.local_attributes
+        assert any("Property 5.1" in violation for violation in report.violations)
+
+    def test_is_non_degenerate_helper(self, q_only_query):
+        assert is_non_degenerate(sql_to_logic_tree(q_only_query))
+
+
+class TestConnectedSubqueries:
+    def test_connected_query_passes(self, q_only_query):
+        report = check_properties(sql_to_logic_tree(q_only_query))
+        assert report.connected_subqueries
+
+    def test_disconnected_subquery_detected(self):
+        sql = """
+        SELECT A.x FROM A
+        WHERE NOT EXISTS (SELECT * FROM B WHERE B.y = 1)
+        """
+        report = check_properties(sql_to_logic_tree(parse(sql)))
+        assert not report.connected_subqueries
+
+    def test_indirect_connection_via_grandchildren_passes(self):
+        # The child block only carries a selection predicate, but each of its
+        # directly nested blocks references both it and the parent.
+        sql = """
+        SELECT A.x FROM A
+        WHERE NOT EXISTS (
+            SELECT * FROM B
+            WHERE B.kind = 'k'
+            AND NOT EXISTS (SELECT * FROM C WHERE C.y = B.y AND C.z = A.x))
+        """
+        report = check_properties(sql_to_logic_tree(parse(sql)))
+        assert report.connected_subqueries
+
+
+class TestDepthRestriction:
+    def test_depth_three_accepted(self, unique_set_query):
+        report = check_properties(sql_to_logic_tree(unique_set_query))
+        assert report.depth_ok and report.is_valid
+
+    def test_depth_four_rejected(self):
+        sql = """
+        SELECT A.x FROM A WHERE NOT EXISTS (
+            SELECT * FROM B WHERE B.a = A.x AND NOT EXISTS (
+                SELECT * FROM C WHERE C.b = B.a AND NOT EXISTS (
+                    SELECT * FROM D WHERE D.c = C.b AND NOT EXISTS (
+                        SELECT * FROM E WHERE E.d = D.c))))
+        """
+        report = check_properties(sql_to_logic_tree(parse(sql)))
+        assert not report.depth_ok
+        with pytest.raises(DegenerateQueryError):
+            validate_for_diagram(sql_to_logic_tree(parse(sql)))
+
+    def test_validate_for_diagram_passes_valid_query(self, q_only_query):
+        validate_for_diagram(sql_to_logic_tree(q_only_query))  # should not raise

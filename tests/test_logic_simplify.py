@@ -1,0 +1,80 @@
+"""Unit tests for the ∄∄ → ∀∃ simplification."""
+
+from __future__ import annotations
+
+from repro.logic import (
+    Quantifier,
+    count_universal_nodes,
+    simplify_logic_tree,
+    sql_to_logic_tree,
+)
+from repro.sql import parse
+
+
+class TestSimplification:
+    def test_q_only_becomes_forall(self, q_only_query):
+        tree = simplify_logic_tree(sql_to_logic_tree(q_only_query))
+        serves = tree.root.children[0]
+        assert serves.quantifier is Quantifier.FOR_ALL
+        likes = serves.children[0]
+        assert likes.quantifier is Quantifier.EXISTS
+
+    def test_unique_set_has_two_forall_nodes(self, unique_set_query):
+        tree = simplify_logic_tree(sql_to_logic_tree(unique_set_query))
+        quantifiers = [node.quantifier for node in tree.iter_nodes()]
+        assert quantifiers.count(Quantifier.FOR_ALL) == 2
+        assert quantifiers.count(Quantifier.EXISTS) == 2
+        assert quantifiers.count(Quantifier.NOT_EXISTS) == 1  # the L2 block
+
+    def test_node_with_two_children_not_rewritten(self, unique_set_query):
+        # The L2 block has two ∄ children, so it must stay ∄ (Fig. 10b).
+        tree = simplify_logic_tree(sql_to_logic_tree(unique_set_query))
+        l2_node = tree.node_of_alias("L2")
+        assert l2_node.quantifier is Quantifier.NOT_EXISTS
+
+    def test_count_universal_nodes(self, unique_set_query):
+        plain = sql_to_logic_tree(unique_set_query)
+        assert count_universal_nodes(plain) == 0
+        assert count_universal_nodes(simplify_logic_tree(plain)) == 2
+
+    def test_conjunctive_query_untouched(self, q_some_query):
+        tree = sql_to_logic_tree(q_some_query)
+        assert simplify_logic_tree(tree) == tree
+
+    def test_exists_chain_untouched(self):
+        tree = sql_to_logic_tree(
+            parse(
+                "SELECT A.x FROM A WHERE EXISTS (SELECT * FROM B WHERE B.y = A.x "
+                "AND EXISTS (SELECT * FROM C WHERE C.z = B.y))"
+            )
+        )
+        simplified = simplify_logic_tree(tree)
+        assert count_universal_nodes(simplified) == 0
+
+    def test_simplification_is_idempotent(self, unique_set_query):
+        once = simplify_logic_tree(sql_to_logic_tree(unique_set_query))
+        twice = simplify_logic_tree(once)
+        assert once == twice
+
+    def test_triple_chain_rewrites_outermost_pair(self):
+        tree = sql_to_logic_tree(
+            parse(
+                "SELECT A.x FROM A WHERE NOT EXISTS (SELECT * FROM B WHERE B.y = A.x "
+                "AND NOT EXISTS (SELECT * FROM C WHERE C.z = B.y "
+                "AND NOT EXISTS (SELECT * FROM D WHERE D.w = C.z)))"
+            )
+        )
+        simplified = simplify_logic_tree(tree)
+        b_node, c_node, d_node = (
+            simplified.node_of_alias("B"),
+            simplified.node_of_alias("C"),
+            simplified.node_of_alias("D"),
+        )
+        assert b_node.quantifier is Quantifier.FOR_ALL
+        assert c_node.quantifier is Quantifier.EXISTS
+        assert d_node.quantifier is Quantifier.NOT_EXISTS
+
+    def test_original_tree_is_not_mutated(self, q_only_query):
+        tree = sql_to_logic_tree(q_only_query)
+        simplify_logic_tree(tree)
+        assert tree.root.children[0].quantifier is Quantifier.NOT_EXISTS

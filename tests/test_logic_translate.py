@@ -1,0 +1,168 @@
+"""Unit tests for SQL → Logic Tree translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import Quantifier, TranslationError, sql_to_logic_tree
+from repro.sql import ColumnRef, Comparison, parse
+
+
+class TestRootBlock:
+    def test_root_has_no_quantifier(self, q_some_query):
+        tree = sql_to_logic_tree(q_some_query)
+        assert tree.root.quantifier is None
+
+    def test_root_tables_and_predicates(self, q_some_query):
+        tree = sql_to_logic_tree(q_some_query)
+        assert [t.effective_alias for t in tree.root.tables] == ["F", "L", "S"]
+        assert len(tree.root.predicates) == 3
+        assert tree.root.children == ()
+
+    def test_select_items_recorded(self, q_some_query):
+        tree = sql_to_logic_tree(q_some_query)
+        assert tree.select_items == (ColumnRef("F", "person"),)
+
+    def test_group_by_recorded(self):
+        tree = sql_to_logic_tree(
+            parse("SELECT T.AlbumId, MAX(T.Milliseconds) FROM Track T GROUP BY T.AlbumId")
+        )
+        assert tree.group_by == (ColumnRef("T", "AlbumId"),)
+
+    def test_select_star_root_rejected(self):
+        with pytest.raises(TranslationError):
+            sql_to_logic_tree(parse("SELECT * FROM T"))
+
+
+class TestNestedBlocks:
+    def test_not_exists_becomes_not_exists_node(self, q_only_query):
+        tree = sql_to_logic_tree(q_only_query)
+        child = tree.root.children[0]
+        assert child.quantifier is Quantifier.NOT_EXISTS
+        assert [t.effective_alias for t in child.tables] == ["S"]
+        grandchild = child.children[0]
+        assert grandchild.quantifier is Quantifier.NOT_EXISTS
+
+    def test_exists_becomes_exists_node(self):
+        tree = sql_to_logic_tree(
+            parse("SELECT A.x FROM A WHERE EXISTS (SELECT * FROM B WHERE B.y = A.x)")
+        )
+        assert tree.root.children[0].quantifier is Quantifier.EXISTS
+
+    def test_unique_set_structure(self, unique_set_query):
+        tree = sql_to_logic_tree(unique_set_query)
+        assert tree.depth() == 3
+        assert tree.node_count() == 6
+        level1 = tree.root.children[0]
+        assert len(level1.children) == 2
+        assert all(c.quantifier is Quantifier.NOT_EXISTS for c in level1.children)
+
+    def test_depth_and_alias_lookup(self, unique_set_query):
+        tree = sql_to_logic_tree(unique_set_query)
+        assert tree.depth_of_alias("L1") == 0
+        assert tree.depth_of_alias("L2") == 1
+        assert tree.depth_of_alias("L3") == 2
+        assert tree.depth_of_alias("L6") == 3
+        assert tree.alias_map()["l4"] == "Likes"
+
+    def test_parent_of(self, unique_set_query):
+        tree = sql_to_logic_tree(unique_set_query)
+        l3_node = tree.node_of_alias("L3")
+        parent = tree.parent_of(l3_node)
+        assert "l2" in parent.local_aliases()
+        assert tree.parent_of(tree.root) is None
+
+    def test_describe_mentions_quantifiers(self, unique_set_query):
+        text = sql_to_logic_tree(unique_set_query).describe()
+        assert "∄" in text and "SELECT" in text
+
+
+class TestSyntacticVariantsCollapse:
+    """IN / ANY / ALL all reduce to ∃/∄ nodes plus a linking predicate."""
+
+    def test_in_subquery(self):
+        tree = sql_to_logic_tree(
+            parse("SELECT A.x FROM A WHERE A.x IN (SELECT B.y FROM B)")
+        )
+        child = tree.root.children[0]
+        assert child.quantifier is Quantifier.EXISTS
+        assert Comparison(ColumnRef("A", "x"), "=", ColumnRef("B", "y")) in child.predicates
+
+    def test_not_in_subquery(self):
+        tree = sql_to_logic_tree(
+            parse("SELECT A.x FROM A WHERE A.x NOT IN (SELECT B.y FROM B)")
+        )
+        assert tree.root.children[0].quantifier is Quantifier.NOT_EXISTS
+
+    def test_any_subquery(self):
+        tree = sql_to_logic_tree(
+            parse("SELECT A.x FROM A WHERE A.x < ANY (SELECT B.y FROM B)")
+        )
+        child = tree.root.children[0]
+        assert child.quantifier is Quantifier.EXISTS
+        assert child.predicates[0].op == "<"
+
+    def test_all_subquery_becomes_negated_exists(self):
+        tree = sql_to_logic_tree(
+            parse("SELECT A.x FROM A WHERE A.x <= ALL (SELECT B.y FROM B)")
+        )
+        child = tree.root.children[0]
+        assert child.quantifier is Quantifier.NOT_EXISTS
+        assert child.predicates[0].op == ">"  # negated operator
+
+    def test_negated_any(self):
+        tree = sql_to_logic_tree(
+            parse("SELECT A.x FROM A WHERE NOT A.x = ANY (SELECT B.y FROM B)")
+        )
+        assert tree.root.children[0].quantifier is Quantifier.NOT_EXISTS
+
+    def test_negated_all(self):
+        tree = sql_to_logic_tree(
+            parse("SELECT A.x FROM A WHERE NOT A.x = ALL (SELECT B.y FROM B)")
+        )
+        child = tree.root.children[0]
+        assert child.quantifier is Quantifier.EXISTS
+        assert child.predicates[0].op == "<>"
+
+    def test_fig24_variants_have_identical_trees(self):
+        variants = [
+            """
+            SELECT S.sname FROM Sailor S
+            WHERE NOT EXISTS(
+                SELECT * FROM Reserves R WHERE R.sid = S.sid
+                AND NOT EXISTS(SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))
+            """,
+            """
+            SELECT S.sname FROM Sailor S
+            WHERE S.sid NOT IN(
+                SELECT R.sid FROM Reserves R
+                WHERE R.bid NOT IN(SELECT B.bid FROM Boat B WHERE B.color = 'red'))
+            """,
+            """
+            SELECT S.sname FROM Sailor S
+            WHERE NOT S.sid = ANY(
+                SELECT R.sid FROM Reserves R
+                WHERE NOT R.bid = ANY(SELECT B.bid FROM Boat B WHERE B.color = 'red'))
+            """,
+        ]
+        trees = [sql_to_logic_tree(parse(sql)) for sql in variants]
+        shapes = [
+            [(node.quantifier, tuple(t.name for t in node.tables)) for node, _ in t.iter_with_depth()]
+            for t in trees
+        ]
+        assert shapes[0] == shapes[1] == shapes[2]
+
+    def test_in_subquery_with_aggregate_rejected(self):
+        with pytest.raises(TranslationError):
+            sql_to_logic_tree(
+                parse("SELECT A.x FROM A WHERE A.x IN (SELECT COUNT(B.y) FROM B GROUP BY B.z)")
+            )
+
+    def test_nested_group_by_rejected(self):
+        with pytest.raises(TranslationError):
+            sql_to_logic_tree(
+                parse(
+                    "SELECT A.x FROM A WHERE EXISTS "
+                    "(SELECT B.y FROM B GROUP BY B.y)"
+                )
+            )

@@ -1,0 +1,63 @@
+"""Unit tests for the TRC rendering of Logic Trees (Fig. 9)."""
+
+from __future__ import annotations
+
+from repro.logic import logic_tree_to_trc, simplify_logic_tree, sql_to_logic_tree
+from repro.sql import parse
+
+
+class TestTRCRendering:
+    def test_conjunctive_query(self, q_some_query):
+        trc = logic_tree_to_trc(sql_to_logic_tree(q_some_query))
+        assert trc.text.startswith("{F.person | ∃F ∈ Frequents")
+        assert "∃L ∈ Likes" in trc.text and "∃S ∈ Serves" in trc.text
+        assert "F.person = L.person" in trc.text
+
+    def test_nested_query_uses_not_exists_symbol(self, q_only_query):
+        trc = logic_tree_to_trc(sql_to_logic_tree(q_only_query))
+        assert trc.text.count("∄") == 2
+        assert "∄S ∈ Serves" in trc.text
+        assert "∄L ∈ Likes" in trc.text
+
+    def test_unique_set_matches_fig9a_structure(self, unique_set_query):
+        trc = logic_tree_to_trc(sql_to_logic_tree(unique_set_query))
+        # Fig. 9a: one ∃ for L1 and five ∄ for L2–L6.
+        assert trc.text.count("∃") == 1
+        assert trc.text.count("∄") == 5
+        assert "L1.drinker <> L2.drinker" in trc.text
+
+    def test_simplified_unique_set_matches_fig9b_structure(self, unique_set_query):
+        tree = simplify_logic_tree(sql_to_logic_tree(unique_set_query))
+        trc = logic_tree_to_trc(tree)
+        # Fig. 9b: ∀ for L3 and L5, ∃ for L1, L4 and L6, ∄ only for L2.
+        assert trc.text.count("∀") == 2
+        assert trc.text.count("∄") == 1
+        assert trc.text.count("∃") == 3
+
+    def test_counts(self, q_only_query):
+        trc = logic_tree_to_trc(sql_to_logic_tree(q_only_query))
+        assert trc.quantifier_count == 3  # three blocks
+        assert trc.predicate_count == 4  # 3 comparisons + 1 projection
+
+    def test_brackets_balance(self, unique_set_query):
+        trc = logic_tree_to_trc(sql_to_logic_tree(unique_set_query))
+        assert trc.text.count("[") == trc.text.count("]")
+        assert trc.text.startswith("{") and trc.text.endswith("}")
+
+    def test_multi_table_block(self):
+        tree = sql_to_logic_tree(
+            parse(
+                "SELECT A.x FROM A WHERE NOT EXISTS "
+                "(SELECT * FROM B, C WHERE B.y = A.x AND C.z = B.y)"
+            )
+        )
+        trc = logic_tree_to_trc(tree)
+        assert "∄B ∈ B [∃C ∈ C" in trc.text
+
+    def test_custom_result_variable(self, q_some_query):
+        trc = logic_tree_to_trc(sql_to_logic_tree(q_some_query), result_variable="R")
+        assert trc.text.startswith("{F.person")
+
+    def test_str_returns_text(self, q_some_query):
+        trc = logic_tree_to_trc(sql_to_logic_tree(q_some_query))
+        assert str(trc) == trc.text

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on the core invariants of the pipeline.
+
+The invariants checked here are the paper's central claims, exercised on
+randomly generated non-degenerate queries rather than hand-picked examples:
+
+1. parse ∘ format = identity on ASTs;
+2. the SQL executor, the Logic Tree evaluation and the simplified-Logic-Tree
+   evaluation agree on every database (semantics preservation);
+3. every generated diagram is structurally valid and minimal in the sense
+   that it has no dangling marks;
+4. diagram → Logic Tree recovery is unique and inverts construction
+   (Proposition 5.1) for non-degenerate queries of depth ≤ 3;
+5. the BH procedure and the Wilcoxon test behave like their reference
+   implementations on random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.catalog import sailors_schema
+from repro.diagram import (
+    build_diagram,
+    consistent_logic_trees,
+    diagram_metrics,
+    ensure_unique_aliases,
+    flatten_existential_blocks,
+    logic_trees_match,
+    recover_logic_tree,
+    validate_diagram,
+)
+from repro.logic import (
+    check_properties,
+    evaluate_logic_tree,
+    simplify_logic_tree,
+    sql_to_logic_tree,
+)
+from repro.relational import execute
+from repro.sql import format_query, parse
+from repro.stats import benjamini_hochberg, wilcoxon_signed_rank
+from repro.workloads import QueryGenConfig, QueryGenerator, sailors_database
+
+# Single-table blocks and a small database keep the nested-loop evaluation
+# fast enough for property testing (the executor is exponential in the number
+# of tables per block by design — it is a reference implementation).
+_GENERATOR = QueryGenerator(
+    sailors_schema(), QueryGenConfig(max_depth=2, max_tables_per_block=1)
+)
+_DEEP_GENERATOR = QueryGenerator(
+    sailors_schema(), QueryGenConfig(max_depth=3, max_tables_per_block=2)
+)
+_DATABASE = sailors_database(n_sailors=4, n_boats=3, n_reservations=8, seed=2)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestParserProperties:
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_format_parse_roundtrip(self, seed):
+        query = _GENERATOR.generate(seed)
+        assert parse(format_query(query)) == query
+
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_generated_queries_are_non_degenerate(self, seed):
+        report = check_properties(sql_to_logic_tree(_GENERATOR.generate(seed)))
+        assert report.local_attributes and report.connected_subqueries
+
+
+class TestSemanticsProperties:
+    @given(seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_sql_and_logic_tree_agree(self, seed):
+        query = _GENERATOR.generate(seed)
+        expected = execute(query, _DATABASE).as_set()
+        tree = sql_to_logic_tree(query)
+        assert evaluate_logic_tree(tree, _DATABASE).as_set() == expected
+
+    @given(seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_simplification_preserves_semantics(self, seed):
+        query = _GENERATOR.generate(seed)
+        tree = sql_to_logic_tree(query)
+        plain = evaluate_logic_tree(tree, _DATABASE).as_set()
+        simplified = evaluate_logic_tree(simplify_logic_tree(tree), _DATABASE).as_set()
+        assert plain == simplified
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_flattening_preserves_semantics(self, seed):
+        query = _GENERATOR.generate(seed)
+        tree = ensure_unique_aliases(sql_to_logic_tree(query))
+        flattened = flatten_existential_blocks(tree)
+        assert (
+            evaluate_logic_tree(tree, _DATABASE).as_set()
+            == evaluate_logic_tree(flattened, _DATABASE).as_set()
+        )
+
+
+class TestDiagramProperties:
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_every_diagram_is_structurally_valid(self, seed):
+        query = _DEEP_GENERATOR.generate(seed)
+        tree = sql_to_logic_tree(query)
+        for candidate in (tree, simplify_logic_tree(tree)):
+            diagram = build_diagram(candidate, schema=sailors_schema())
+            validate_diagram(diagram)
+
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_simplification_never_adds_elements(self, seed):
+        query = _DEEP_GENERATOR.generate(seed)
+        tree = sql_to_logic_tree(query)
+        plain = build_diagram(tree)
+        simplified = build_diagram(simplify_logic_tree(tree))
+        assert (
+            diagram_metrics(simplified).element_count
+            <= diagram_metrics(plain).element_count
+        )
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_recovery_is_unique_and_inverts_construction(self, seed):
+        query = _DEEP_GENERATOR.generate(seed)
+        tree = flatten_existential_blocks(
+            ensure_unique_aliases(sql_to_logic_tree(query))
+        )
+        if tree.depth() > 3:
+            return  # outside the scope of Proposition 5.1
+        diagram = build_diagram(tree)
+        if len(diagram.boxes) > 5:
+            return  # keep the brute-force uniqueness check tractable
+        candidates = consistent_logic_trees(diagram)
+        assert len(candidates) == 1
+        assert logic_trees_match(tree, recover_logic_tree(diagram))
+
+    @given(seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_reading_order_visits_every_table(self, seed):
+        query = _DEEP_GENERATOR.generate(seed)
+        diagram = build_diagram(sql_to_logic_tree(query))
+        order = diagram.reading_order()
+        assert sorted(order) == sorted(t.table_id for t in diagram.tables)
+        assert order[0] == diagram.select_table_id
+
+
+class TestStatsProperties:
+    @given(
+        p_values=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=12)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bh_adjustment_dominates_raw_and_is_bounded(self, p_values):
+        adjusted = benjamini_hochberg(p_values)
+        assert len(adjusted) == len(p_values)
+        for raw, adj in zip(p_values, adjusted):
+            assert adj >= raw - 1e-12
+            assert adj <= 1.0 + 1e-12
+
+    @given(
+        p_values=st.lists(
+            st.floats(min_value=1e-6, max_value=1.0), min_size=2, max_size=8
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bh_preserves_ranking(self, p_values):
+        adjusted = benjamini_hochberg(p_values)
+        order_raw = sorted(range(len(p_values)), key=lambda i: p_values[i])
+        for earlier, later in zip(order_raw, order_raw[1:]):
+            assert adjusted[earlier] <= adjusted[later] + 1e-12
+
+    @given(
+        differences=st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=8, max_size=60
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wilcoxon_close_to_scipy(self, differences):
+        if all(d == 0 for d in differences):
+            return
+        ours = wilcoxon_signed_rank(differences, alternative="less")
+        method = "exact" if ours.method == "exact" else "approx"
+        theirs = scipy_stats.wilcoxon(
+            differences, alternative="less", correction=True, method=method,
+            zero_method="wilcox",
+        )
+        assert ours.p_value == np.clip(theirs.pvalue, 0, 1) or abs(
+            ours.p_value - theirs.pvalue
+        ) < 0.05

@@ -1,0 +1,131 @@
+"""Unit tests for the DOT, SVG, layout and text renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import queryvis
+from repro.render import (
+    diagram_summary,
+    diagram_to_dot,
+    diagram_to_svg,
+    diagram_to_text,
+    layout_diagram,
+)
+
+
+@pytest.fixture
+def nested_diagram(q_only_query):
+    return queryvis(q_only_query, simplify=False)
+
+
+@pytest.fixture
+def simplified_diagram(q_only_query):
+    return queryvis(q_only_query, simplify=True)
+
+
+class TestDot:
+    def test_is_a_digraph(self, nested_diagram):
+        dot = diagram_to_dot(nested_diagram)
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+
+    def test_every_table_becomes_a_node(self, nested_diagram):
+        dot = diagram_to_dot(nested_diagram)
+        for table in nested_diagram.tables:
+            assert f'"{table.table_id}"' in dot
+
+    def test_not_exists_box_is_dashed_cluster(self, nested_diagram):
+        dot = diagram_to_dot(nested_diagram)
+        assert "subgraph cluster_0" in dot
+        assert "style=dashed" in dot
+
+    def test_forall_box_uses_double_periphery(self, simplified_diagram):
+        dot = diagram_to_dot(simplified_diagram)
+        assert "peripheries=2" in dot
+
+    def test_undirected_edges_marked_dir_none(self, q_some_query):
+        dot = diagram_to_dot(queryvis(q_some_query))
+        assert "dir=none" in dot
+
+    def test_operator_label_emitted(self, unique_set_query):
+        dot = diagram_to_dot(queryvis(unique_set_query, simplify=False))
+        assert 'label="&lt;&gt;"' in dot
+
+    def test_selection_row_highlighted(self):
+        dot = diagram_to_dot(queryvis("SELECT B.bid FROM Boat B WHERE B.color = 'red'"))
+        assert "#ffffaa" in dot and "color = &#39;red&#39;" not in dot  # plain escaping only
+
+    def test_html_escaping(self):
+        dot = diagram_to_dot(
+            queryvis("SELECT A.x FROM A, B WHERE A.x < B.y")
+        )
+        assert "&lt;" in dot or "label=\"<\"" not in dot
+
+    def test_custom_graph_name(self, q_some_query):
+        assert diagram_to_dot(queryvis(q_some_query), graph_name="q1").startswith(
+            'digraph "q1"'
+        )
+
+
+class TestSvgAndLayout:
+    def test_layout_places_every_table(self, nested_diagram):
+        layout = layout_diagram(nested_diagram)
+        for table in nested_diagram.tables:
+            placement = layout.placement(table.table_id)
+            assert placement.width > 0 and placement.height > 0
+
+    def test_layout_columns_follow_depth(self, nested_diagram):
+        layout = layout_diagram(nested_diagram)
+        select_x = layout.placement("__select__").x
+        f_x = layout.placement("F").x
+        s_x = layout.placement("S").x
+        l_x = layout.placement("L").x
+        assert select_x < f_x < s_x < l_x
+
+    def test_layout_no_overlaps_within_column(self, unique_set_query):
+        diagram = queryvis(unique_set_query, simplify=False)
+        layout = layout_diagram(diagram)
+        placements = list(layout.placements.values())
+        for i, a in enumerate(placements):
+            for b in placements[i + 1 :]:
+                if a.x == b.x:
+                    assert a.bottom <= b.y or b.bottom <= a.y
+
+    def test_svg_is_well_formed_document(self, nested_diagram):
+        svg = diagram_to_svg(nested_diagram)
+        assert svg.startswith("<svg") and svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") >= len(nested_diagram.tables)
+        assert svg.count("<line") == len(nested_diagram.edges)
+
+    def test_svg_dashed_box_for_not_exists(self, nested_diagram):
+        assert "stroke-dasharray" in diagram_to_svg(nested_diagram)
+
+    def test_svg_contains_table_names(self, nested_diagram):
+        svg = diagram_to_svg(nested_diagram)
+        assert "Frequents" in svg and "Serves" in svg and "Likes" in svg
+
+    def test_svg_canvas_large_enough(self, nested_diagram):
+        layout = layout_diagram(nested_diagram)
+        assert layout.width > 400 and layout.height > 100
+
+
+class TestText:
+    def test_text_contains_quantifier_symbols(self, nested_diagram):
+        text = diagram_to_text(nested_diagram)
+        assert "∄" in text
+
+    def test_text_contains_forall_symbol(self, simplified_diagram):
+        assert "∀" in diagram_to_text(simplified_diagram)
+
+    def test_text_lists_edges(self, nested_diagram):
+        text = diagram_to_text(nested_diagram)
+        assert "edges:" in text
+        assert "──>" in text
+
+    def test_selection_row_prefix(self):
+        text = diagram_to_text(queryvis("SELECT B.bid FROM Boat B WHERE B.color = 'red'"))
+        assert "σ color = 'red'" in text
+
+    def test_summary_counts(self, nested_diagram):
+        summary = diagram_summary(nested_diagram)
+        assert "3 tables" in summary and "2 boxes" in summary

@@ -1,0 +1,90 @@
+"""Unit tests for the SQL formatter and text metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import (
+    format_inline,
+    format_query,
+    parse,
+    text_metrics,
+    word_count,
+)
+from repro.sql.metrics import relative_increase
+
+
+class TestFormatter:
+    def test_roundtrip_simple(self):
+        sql = "SELECT T.a FROM T WHERE T.a = 1"
+        assert parse(format_query(parse(sql))) == parse(sql)
+
+    def test_roundtrip_join(self, q_some_query):
+        assert parse(format_query(q_some_query)) == q_some_query
+
+    def test_roundtrip_nested(self, q_only_query):
+        assert parse(format_query(q_only_query)) == q_only_query
+
+    def test_roundtrip_unique_set(self, unique_set_query):
+        assert parse(format_query(unique_set_query)) == unique_set_query
+
+    def test_roundtrip_group_by(self):
+        sql = (
+            "SELECT T.AlbumId, MAX(T.Milliseconds) FROM Track T, Genre G "
+            "WHERE T.GenreId = G.GenreId AND G.Name = 'Classical' GROUP BY T.AlbumId"
+        )
+        query = parse(sql)
+        assert parse(format_query(query)) == query
+
+    def test_roundtrip_in_and_any(self):
+        sql = (
+            "SELECT S.sname FROM Sailor S WHERE S.sid NOT IN (SELECT R.sid FROM "
+            "Reserves R WHERE NOT R.bid = ANY (SELECT B.bid FROM Boat B))"
+        )
+        query = parse(sql)
+        assert parse(format_query(query)) == query
+
+    def test_keywords_capitalized(self, q_only_query):
+        text = format_query(q_only_query)
+        assert "SELECT" in text and "NOT EXISTS" in text
+        assert "select " not in text
+
+    def test_indentation_of_nested_blocks(self, q_only_query):
+        text = format_query(q_only_query)
+        assert "\n    SELECT" in text  # nested block indented one level
+
+    def test_ends_with_semicolon(self, q_some_query):
+        assert format_query(q_some_query).endswith(";")
+
+    def test_inline_is_single_line(self, q_only_query):
+        assert "\n" not in format_inline(q_only_query)
+
+    def test_string_literal_quoting(self):
+        query = parse("SELECT B.bid FROM Boat B WHERE B.color = 'red'")
+        assert "'red'" in format_query(query)
+
+
+class TestTextMetrics:
+    def test_word_count_counts_whitespace_separated_words(self, q_some_query):
+        metrics = text_metrics(q_some_query)
+        assert metrics.word_count == len(format_query(q_some_query).split())
+
+    def test_nested_query_has_more_words(self, q_some_query, q_only_query):
+        assert word_count(q_only_query) > word_count(q_some_query)
+
+    def test_metrics_fields(self, q_only_query):
+        metrics = text_metrics(q_only_query)
+        assert metrics.nesting_depth == 2
+        assert metrics.table_count == 3
+        assert metrics.line_count > 5
+        assert metrics.token_count > metrics.word_count
+
+    def test_relative_increase(self):
+        assert relative_increase(10, 25) == pytest.approx(1.5)
+
+    def test_relative_increase_zero_base(self):
+        with pytest.raises(ValueError):
+            relative_increase(0, 5)
+
+    def test_predicate_count(self, unique_set_query):
+        assert text_metrics(unique_set_query).predicate_count == 12

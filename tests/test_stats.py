@@ -1,0 +1,218 @@
+"""Unit tests for the statistics package (cross-checked against scipy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats import (
+    achieved_power,
+    bca_interval,
+    benjamini_hochberg,
+    cohens_d,
+    fraction_negative,
+    mean_difference,
+    median_difference,
+    percentile_interval,
+    rejected,
+    required_sample_size,
+    requires_nonparametric,
+    shapiro_wilk,
+    summarize,
+    wilcoxon_signed_rank,
+)
+
+
+class TestWilcoxon:
+    def test_clear_negative_shift(self):
+        differences = [-5.0, -3.0, -8.0, -1.0, -6.0, -2.0, -4.0, -7.0]
+        result = wilcoxon_signed_rank(differences, alternative="less")
+        assert result.p_value < 0.01
+        assert result.statistic == 0.0
+
+    def test_no_shift(self):
+        rng = np.random.default_rng(0)
+        differences = rng.normal(0, 1, 40).tolist()
+        result = wilcoxon_signed_rank(differences, alternative="less")
+        assert result.p_value > 0.05
+
+    def test_matches_scipy_normal_approximation(self):
+        rng = np.random.default_rng(1)
+        differences = (rng.normal(-0.4, 1, 60)).tolist()
+        ours = wilcoxon_signed_rank(differences, alternative="less")
+        theirs = scipy_stats.wilcoxon(
+            differences, alternative="less", correction=True, method="approx"
+        )
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.05)
+
+    def test_matches_scipy_exact_small_sample(self):
+        differences = [-3.1, -1.2, 2.4, -5.5, -0.7, 1.9, -2.2]
+        ours = wilcoxon_signed_rank(differences, alternative="less")
+        theirs = scipy_stats.wilcoxon(differences, alternative="less", method="exact")
+        assert ours.method == "exact"
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    def test_greater_alternative(self):
+        differences = [5.0, 3.0, 8.0, 1.0, 6.0, 2.0, 4.0, 7.0]
+        assert wilcoxon_signed_rank(differences, alternative="greater").p_value < 0.01
+
+    def test_two_sided(self):
+        differences = [-5.0, -3.0, -8.0, -1.0, -6.0, -2.0, -4.0, -7.0]
+        two_sided = wilcoxon_signed_rank(differences, alternative="two-sided").p_value
+        one_sided = wilcoxon_signed_rank(differences, alternative="less").p_value
+        assert two_sided == pytest.approx(2 * one_sided, rel=0.2)
+
+    def test_zeros_are_dropped(self):
+        result = wilcoxon_signed_rank([0.0, 0.0, -1.0, -2.0], alternative="less")
+        assert result.n_effective == 2
+
+    def test_all_zero_differences(self):
+        result = wilcoxon_signed_rank([0.0, 0.0, 0.0])
+        assert result.p_value == 1.0 and result.n_effective == 0
+
+    def test_unknown_alternative(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], alternative="sideways")
+
+
+class TestBenjaminiHochberg:
+    def test_adjustment_known_example(self):
+        adjusted = benjamini_hochberg([0.01, 0.04, 0.03, 0.005])
+        assert adjusted == pytest.approx([0.02, 0.04, 0.04, 0.02])
+
+    def test_single_p_value_unchanged(self):
+        assert benjamini_hochberg([0.03]) == [0.03]
+
+    def test_monotone_and_capped(self):
+        adjusted = benjamini_hochberg([0.9, 0.95, 0.99])
+        assert all(0 <= p <= 1 for p in adjusted)
+
+    def test_preserves_order_positions(self):
+        p_values = [0.2, 0.001, 0.05]
+        adjusted = benjamini_hochberg(p_values)
+        assert adjusted[1] < adjusted[2] < adjusted[0]
+
+    def test_rejected_flags(self):
+        assert rejected([0.001, 0.5], alpha=0.05) == [True, False]
+
+    def test_empty_input(self):
+        assert benjamini_hochberg([]) == []
+
+    def test_invalid_p_value(self):
+        with pytest.raises(ValueError):
+            benjamini_hochberg([1.2])
+
+
+class TestBootstrap:
+    def test_bca_interval_contains_true_mean(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(10, 2, 80)
+        interval = bca_interval(data, np.mean, n_resamples=500)
+        assert interval.low < 10 < interval.high
+        assert interval.contains(float(np.mean(data)))
+
+    def test_bca_median_interval(self):
+        rng = np.random.default_rng(4)
+        data = rng.lognormal(4, 0.4, 60)
+        interval = bca_interval(data, np.median, n_resamples=500)
+        assert interval.low < interval.estimate < interval.high
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(5)
+        small = bca_interval(rng.normal(0, 1, 20), np.mean, n_resamples=400)
+        large = bca_interval(rng.normal(0, 1, 400), np.mean, n_resamples=400)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_bca_close_to_percentile_for_symmetric_data(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(5, 1, 100)
+        bca = bca_interval(data, np.mean, n_resamples=800, seed=1)
+        pct = percentile_interval(data, np.mean, n_resamples=800, seed=1)
+        assert bca.low == pytest.approx(pct.low, abs=0.15)
+        assert bca.high == pytest.approx(pct.high, abs=0.15)
+
+    def test_single_observation(self):
+        interval = bca_interval([3.0], np.mean)
+        assert interval.low == interval.high == 3.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            bca_interval([], np.mean)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bca_interval([1.0, 2.0], np.mean, confidence=1.5)
+
+
+class TestPower:
+    def test_paper_sample_size_is_84(self):
+        # Effect size ~0.355 (the pilot's QV vs SQL difference) with α=5%,
+        # power=90%, one-tailed → 68 per group, rounded to a multiple of 6.
+        result = required_sample_size(
+            mean_treatment=76.0, mean_control=95.0, pooled_sd=53.5, round_to=6
+        )
+        assert result.n_rounded == 72 or result.n_rounded == 84 or result.n_rounded == 78
+        assert result.n_per_group <= result.n_rounded
+
+    def test_larger_effect_needs_fewer_participants(self):
+        small = required_sample_size(90, 100, 30)
+        large = required_sample_size(70, 100, 30)
+        assert large.n_per_group < small.n_per_group
+
+    def test_two_tailed_needs_more(self):
+        one = required_sample_size(80, 100, 40, one_tailed=True)
+        two = required_sample_size(80, 100, 40, one_tailed=False)
+        assert two.n_per_group > one.n_per_group
+
+    def test_achieved_power_increases_with_n(self):
+        assert achieved_power(0.5, 100) > achieved_power(0.5, 20)
+
+    def test_zero_effect_rejected(self):
+        with pytest.raises(ValueError):
+            required_sample_size(100, 100, 10)
+
+    def test_invalid_sd(self):
+        with pytest.raises(ValueError):
+            required_sample_size(90, 100, 0)
+
+
+class TestEffectSizesAndDescriptive:
+    def test_median_difference(self):
+        effect = median_difference([10, 20, 30], [8, 16, 24])
+        assert effect.difference == -4
+        assert effect.percent_change == pytest.approx(-0.2)
+
+    def test_mean_difference(self):
+        effect = mean_difference([0.3, 0.3, 0.3], [0.24, 0.24, 0.24])
+        assert effect.percent_change == pytest.approx(-0.2)
+
+    def test_cohens_d(self):
+        d = cohens_d([1, 2, 3, 4], [3, 4, 5, 6])
+        assert d == pytest.approx(-1.549, abs=0.01)
+
+    def test_fraction_negative(self):
+        assert fraction_negative([-1, -2, 3, -4]) == pytest.approx(0.75)
+
+    def test_summarize(self):
+        summary = summarize("SQL", [10.0, 20.0, 30.0])
+        assert summary.median == 20 and summary.n == 3
+
+    def test_shapiro_detects_non_normal(self):
+        rng = np.random.default_rng(8)
+        lognormal = rng.lognormal(0, 1, 100).tolist()
+        normal = rng.normal(0, 1, 100).tolist()
+        assert not shapiro_wilk(lognormal).is_normal
+        assert shapiro_wilk(normal).is_normal
+
+    def test_requires_nonparametric(self):
+        rng = np.random.default_rng(9)
+        samples = {
+            "SQL": rng.lognormal(4, 0.5, 50).tolist(),
+            "QV": rng.normal(60, 5, 50).tolist(),
+        }
+        assert requires_nonparametric(samples)
+
+    def test_shapiro_needs_three_values(self):
+        with pytest.raises(ValueError):
+            shapiro_wilk([1.0, 2.0])

@@ -1,0 +1,180 @@
+"""Unit tests for the participant simulation, exclusion filter and analysis."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.study import (
+    Condition,
+    DEFAULT_SEED,
+    ParticipantKind,
+    PopulationConfig,
+    analyze_study,
+    apply_exclusion,
+    exclusion_accuracy,
+    format_fig7,
+    format_fig18,
+    format_participant_deltas,
+    generate_population,
+    legitimate_responses,
+    participant_condition_summaries,
+    questions_without_grouping,
+    simulate_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return simulate_study()
+
+
+@pytest.fixture(scope="module")
+def exclusion(study):
+    return apply_exclusion(study)
+
+
+@pytest.fixture(scope="module")
+def results_nine(study, exclusion):
+    nine_ids = {q.question_id for q in questions_without_grouping()}
+    responses = [
+        r for r in legitimate_responses(study, exclusion) if r.question_id in nine_ids
+    ]
+    return analyze_study(responses, n_bootstrap=300)
+
+
+class TestPopulation:
+    def test_population_size_matches_paper(self):
+        population = generate_population(PopulationConfig())
+        assert len(population) == 80
+        kinds = [p.kind for p in population]
+        assert kinds.count(ParticipantKind.LEGITIMATE) == 42
+        assert kinds.count(ParticipantKind.SPEEDER) == 20
+        assert kinds.count(ParticipantKind.CHEATER) == 18
+
+    def test_generation_is_deterministic(self):
+        a = generate_population(PopulationConfig(), seed=5)
+        b = generate_population(PopulationConfig(), seed=5)
+        assert [p.base_time for p in a] == [p.base_time for p in b]
+
+    def test_legitimate_profiles_have_condition_effects(self):
+        population = generate_population(PopulationConfig())
+        legit = [p for p in population if p.kind is ParticipantKind.LEGITIMATE]
+        mean_qv = statistics.fmean(p.time_multipliers[Condition.QV] for p in legit)
+        assert 0.6 < mean_qv < 0.9
+        assert all(p.time_multipliers[Condition.SQL] == 1.0 for p in legit)
+
+    def test_illegitimate_profiles_are_fast(self):
+        population = generate_population(PopulationConfig())
+        for profile in population:
+            if profile.kind is not ParticipantKind.LEGITIMATE:
+                assert profile.base_time < 30
+
+
+class TestSimulation:
+    def test_one_response_per_participant_question(self, study):
+        assert len(study.responses) == 80 * 12
+
+    def test_simulation_is_deterministic(self):
+        a = simulate_study(seed=DEFAULT_SEED)
+        b = simulate_study(seed=DEFAULT_SEED)
+        assert a.responses == b.responses
+
+    def test_conditions_follow_latin_square(self, study):
+        for profile in study.participants[:12]:
+            records = study.responses_of(profile.participant_id)
+            conditions = [r.condition for r in sorted(records, key=lambda r: r.question_index)]
+            assert conditions[0:3] == conditions[3:6]
+
+    def test_times_are_positive(self, study):
+        assert all(r.time_seconds > 0 for r in study.responses)
+
+
+class TestExclusion:
+    def test_counts_match_paper(self, exclusion):
+        assert exclusion.n_total == 80
+        assert exclusion.n_excluded == 38
+        assert exclusion.n_legitimate == 42
+
+    def test_filter_matches_ground_truth(self, study, exclusion):
+        assert exclusion_accuracy(study, exclusion) == 1.0
+
+    def test_legitimate_participants_have_slow_mean_times(self, exclusion):
+        for stats in exclusion.stats:
+            if not stats.excluded:
+                assert stats.mean_time >= exclusion.threshold_seconds
+
+    def test_reasons_are_populated_for_excluded(self, exclusion):
+        for stats in exclusion.stats:
+            assert stats.excluded == bool(stats.reason)
+
+    def test_legitimate_responses_filtering(self, study, exclusion):
+        responses = legitimate_responses(study, exclusion)
+        assert len(responses) == 42 * 12
+        assert {r.participant_id for r in responses} == set(exclusion.legitimate_ids)
+
+    def test_threshold_is_configurable(self, study):
+        strict = apply_exclusion(study, threshold_seconds=60.0)
+        assert strict.n_excluded > 38
+
+
+class TestAnalysis:
+    def test_headline_shape_matches_paper(self, results_nine):
+        time_qv = results_nine.comparison("time", Condition.QV)
+        time_both = results_nine.comparison("time", Condition.BOTH)
+        error_qv = results_nine.comparison("error", Condition.QV)
+        error_both = results_nine.comparison("error", Condition.BOTH)
+        # Fig. 7 shape: QV meaningfully faster (≈ -20 %, p < 0.001), Both ≈ SQL,
+        # error reductions for QV and Both with weaker evidence.
+        assert -0.35 < time_qv.percent_change < -0.10
+        assert time_qv.p_value_adjusted < 0.001
+        assert abs(time_both.percent_change) < 0.10
+        assert time_both.p_value_adjusted > 0.05
+        assert error_qv.percent_change < 0
+        assert error_both.percent_change < 0
+        assert error_qv.p_value_adjusted > 0.01
+
+    def test_majority_of_participants_faster_with_qv(self, results_nine):
+        time_qv = results_nine.comparison("time", Condition.QV)
+        assert 0.6 < time_qv.fraction_improved < 0.95
+
+    def test_confidence_intervals_bracket_estimates(self, results_nine):
+        for condition in Condition:
+            interval = results_nine.time_intervals[condition]
+            assert interval.low <= results_nine.median_time[condition] <= interval.high
+
+    def test_participant_summaries(self, study, exclusion):
+        responses = legitimate_responses(study, exclusion)
+        summaries = participant_condition_summaries(responses)
+        assert len(summaries) == 42 * 3
+        assert all(s.n_questions == 4 for s in summaries)
+
+    def test_fraction_fields_sum_to_one(self, results_nine):
+        comparison = results_nine.comparison("error", Condition.QV)
+        total = (
+            comparison.fraction_improved
+            + comparison.fraction_worse
+            + comparison.fraction_tied
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_analysis_requires_responses(self):
+        with pytest.raises(ValueError):
+            analyze_study([])
+
+
+class TestReports:
+    def test_fig7_report_mentions_all_conditions(self, results_nine):
+        text = format_fig7(results_nine)
+        assert "SQL" in text and "QV" in text and "Both" in text
+        assert "Wilcoxon" in text
+
+    def test_deltas_report(self, results_nine):
+        text = format_participant_deltas(results_nine)
+        assert "faster with QV" in text
+
+    def test_fig18_report(self, exclusion):
+        text = format_fig18(exclusion)
+        assert "38 excluded" in text
+        assert "42 legitimate" in text

@@ -1,0 +1,134 @@
+"""Unit tests for the study stimuli and the Latin-square design."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import queryvis
+from repro.diagram import validate_diagram
+from repro.logic import check_properties, sql_to_logic_tree
+from repro.relational import execute
+from repro.study import (
+    Category,
+    Complexity,
+    Condition,
+    SEQUENCES,
+    assign,
+    condition_counts,
+    conditions_for_sequence,
+    is_balanced,
+    qualification_questions,
+    questions_without_grouping,
+    sequence_for_participant,
+    study_schema,
+)
+from repro.study import test_questions as study_questions
+from repro.workloads import chinook_database
+
+
+class TestStimuli:
+    def test_twelve_test_questions(self):
+        questions = study_questions()
+        assert len(questions) == 12
+        assert [q.question_id for q in questions] == [f"Q{i}" for i in range(1, 13)]
+
+    def test_nine_without_grouping(self):
+        nine = questions_without_grouping()
+        assert len(nine) == 9
+        assert all(q.category is not Category.GROUPING for q in nine)
+
+    def test_three_questions_per_category(self):
+        questions = study_questions()
+        for category in Category:
+            members = [q for q in questions if q.category is category]
+            assert len(members) == 3
+            assert {q.complexity for q in members} == set(Complexity)
+
+    def test_each_question_has_four_distinct_choices(self):
+        for question in study_questions():
+            assert len(question.choices) == 4
+            assert len(set(question.choices)) == 4
+            assert 0 <= question.correct_choice < 4
+
+    def test_six_qualification_questions(self):
+        assert len(qualification_questions()) == 6
+
+    def test_all_stimuli_parse(self):
+        for question in list(study_questions()) + list(qualification_questions()):
+            query = question.parsed()
+            assert query.from_tables
+
+    def test_all_stimuli_reference_chinook_tables(self):
+        schema = study_schema()
+        for question in study_questions():
+            for block in question.parsed().iter_blocks():
+                for table in block.from_tables:
+                    assert schema.has_table(table.name), table.name
+
+    def test_nested_stimuli_are_non_degenerate(self):
+        for question in study_questions():
+            if question.uses_grouping:
+                continue
+            report = check_properties(sql_to_logic_tree(question.parsed()))
+            assert report.is_valid, question.question_id
+
+    def test_all_stimuli_produce_valid_diagrams(self):
+        schema = study_schema()
+        for question in list(study_questions()) + list(qualification_questions()):
+            validate_diagram(queryvis(question.sql, schema=schema))
+
+    def test_stimuli_execute_on_synthetic_chinook(self):
+        database = chinook_database()
+        for question in study_questions():
+            result = execute(question.parsed(), database)
+            assert result.columns  # executes without error
+
+    def test_complexity_distribution_of_nested_category(self):
+        nested = [q for q in study_questions() if q.category is Category.NESTED]
+        assert [q.question_id for q in nested] == ["Q10", "Q11", "Q12"]
+        assert [q.complexity for q in nested] == [
+            Complexity.SIMPLE,
+            Complexity.MEDIUM,
+            Complexity.COMPLEX,
+        ]
+
+
+class TestLatinSquareDesign:
+    def test_six_sequences_cover_all_permutations(self):
+        assert len(SEQUENCES) == 6
+        assert len(set(SEQUENCES)) == 6
+        for sequence in SEQUENCES:
+            assert set(sequence) == set(Condition)
+
+    def test_round_robin_assignment(self):
+        assert sequence_for_participant(0) == 0
+        assert sequence_for_participant(5) == 5
+        assert sequence_for_participant(6) == 0
+
+    def test_conditions_repeat_every_three_questions(self):
+        conditions = conditions_for_sequence(0, 12)
+        assert conditions[0:3] == conditions[3:6] == conditions[6:9] == conditions[9:12]
+
+    def test_each_condition_appears_equally_often(self):
+        assignment = assign(participant_id=3, n_questions=12)
+        counts = condition_counts(assignment)
+        assert set(counts.values()) == {4}
+
+    def test_every_question_balanced_across_sequences(self):
+        # Over the six sequences, every question index is shown in every
+        # condition exactly twice.
+        for question_index in range(12):
+            seen = [
+                conditions_for_sequence(sequence, 12)[question_index]
+                for sequence in range(6)
+            ]
+            assert all(seen.count(condition) == 2 for condition in Condition)
+
+    def test_balanced_participant_counts(self):
+        assert is_balanced(42) and not is_balanced(44)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sequence_for_participant(-1)
+        with pytest.raises(ValueError):
+            conditions_for_sequence(9, 12)

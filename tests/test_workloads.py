@@ -1,0 +1,97 @@
+"""Unit tests for the data and query generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import sailors_schema, students_schema
+from repro.logic import check_properties, sql_to_logic_tree
+from repro.relational import execute
+from repro.sql import format_query, parse
+from repro.workloads import (
+    QueryGenConfig,
+    QueryGenerator,
+    beers_database,
+    beers_fig3_database,
+    chinook_database,
+    sailors_database,
+)
+
+
+class TestDataGenerators:
+    def test_beers_database_populated(self):
+        db = beers_database()
+        assert db.row_count("Likes") > 0
+        assert db.row_count("Serves") > 0
+
+    def test_beers_database_deterministic(self):
+        assert beers_database(seed=4).total_rows() == beers_database(seed=4).total_rows()
+
+    def test_beers_fig3_database(self):
+        db = beers_fig3_database()
+        assert set(db.relation("Likes").columns) == {"person", "drink"}
+
+    def test_sailors_database_has_red_boats(self):
+        db = sailors_database()
+        colors = set(db.relation("Boat").column_values("color"))
+        assert "red" in colors and len(colors) > 1
+
+    def test_sailors_reservations_reference_existing_keys(self):
+        db = sailors_database()
+        sids = set(db.relation("Sailor").column_values("sid"))
+        bids = set(db.relation("Boat").column_values("bid"))
+        for row in db.relation("Reserves"):
+            assert row["sid"] in sids and row["bid"] in bids
+
+    def test_chinook_database_covers_stimulus_tables(self):
+        db = chinook_database()
+        for table in ("Artist", "Album", "Track", "Genre", "Playlist", "Invoice",
+                      "InvoiceLine", "Customer", "Employee"):
+            assert db.row_count(table) > 0
+
+    def test_chinook_tracks_reference_albums(self):
+        db = chinook_database()
+        albums = set(db.relation("Album").column_values("AlbumId"))
+        assert all(row["AlbumId"] in albums for row in db.relation("Track"))
+
+
+class TestQueryGenerator:
+    def test_generation_is_deterministic(self):
+        generator = QueryGenerator(sailors_schema())
+        assert generator.generate(3) == generator.generate(3)
+
+    def test_generated_queries_parse_after_formatting(self):
+        generator = QueryGenerator(sailors_schema())
+        for seed in range(25):
+            query = generator.generate(seed)
+            assert parse(format_query(query)) == query
+
+    def test_generated_queries_are_non_degenerate(self):
+        generator = QueryGenerator(sailors_schema())
+        for seed in range(25):
+            tree = sql_to_logic_tree(generator.generate(seed))
+            report = check_properties(tree)
+            assert report.local_attributes and report.connected_subqueries
+
+    def test_generated_queries_respect_max_depth(self):
+        generator = QueryGenerator(sailors_schema(), QueryGenConfig(max_depth=1))
+        assert all(generator.generate(seed).nesting_depth() <= 1 for seed in range(20))
+
+    def test_generated_queries_execute(self):
+        generator = QueryGenerator(
+            sailors_schema(), QueryGenConfig(max_depth=2, max_tables_per_block=1)
+        )
+        db = sailors_database(n_sailors=4, n_boats=3, n_reservations=8)
+        for seed in range(15):
+            result = execute(generator.generate(seed), db)
+            assert result.columns
+
+    def test_generator_works_on_other_schemas(self):
+        generator = QueryGenerator(students_schema())
+        query = generator.generate(0)
+        assert query.from_tables
+
+    def test_some_generated_queries_are_nested(self):
+        generator = QueryGenerator(sailors_schema(), QueryGenConfig(max_depth=2))
+        depths = {generator.generate(seed).nesting_depth() for seed in range(30)}
+        assert max(depths) >= 1
