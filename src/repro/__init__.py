@@ -9,7 +9,9 @@ diagrams help users understand complicated SQL queries faster" (SIGMOD 2020):
 * :mod:`repro.diagram` — diagram construction, recovery (unambiguity) and
   pattern signatures;
 * :mod:`repro.render` — DOT / SVG / text renderers;
-* :mod:`repro.relational` — an in-memory engine used to verify semantics;
+* :mod:`repro.relational` — an in-memory engine used to verify semantics,
+  with a plan-based executor (pushdown, hash joins, semi-joins) and a batch
+  pipeline API (:class:`repro.relational.BatchExecutor`);
 * :mod:`repro.study` and :mod:`repro.stats` — the user-study simulation and
   the pre-registered analysis pipeline of Section 6.
 """

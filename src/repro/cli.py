@@ -6,11 +6,16 @@ Usage (after ``pip install -e .``)::
     python -m repro render query.sql --format text --no-simplify
     python -m repro trc query.sql
     python -m repro study --questions 9
+    python -m repro explain query.sql
+    python -m repro bench-exec --scale 10 --repeat 3
 
 ``render`` turns an SQL file (or stdin when the path is ``-``) into a DOT,
 SVG or plain-text diagram; ``trc`` prints the Logic Tree and its tuple
 relational calculus; ``study`` runs the simulated user-study replication and
-prints the Fig. 7-style report.
+prints the Fig. 7-style report; ``explain`` prints the relational engine's
+execution plan for a query; ``bench-exec`` runs the Chinook batch workload
+through the planned executor (optionally also the naive oracle) and reports
+throughput and cache statistics.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from .logic.trc import logic_tree_to_trc
 from .render.ascii_art import diagram_to_text
 from .render.dot import diagram_to_dot
 from .render.svg import diagram_to_svg
+from .relational.errors import EngineError
 from .sql.errors import SQLError
 from .sql.parser import parse
 
@@ -67,6 +73,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyse the 9 non-GROUP BY questions (Fig. 7) or all 12 (Fig. 19)",
     )
     study.add_argument("--seed", type=int, default=None, help="simulation seed")
+
+    explain = subparsers.add_parser(
+        "explain", help="print the relational engine's execution plan for a query"
+    )
+    explain.add_argument("sql_file", help="path to a .sql file, or - for stdin")
+    explain.add_argument(
+        "--schema",
+        choices=("chinook", "sailors", "beers"),
+        default="chinook",
+        help="schema the query's tables belong to",
+    )
+
+    bench = subparsers.add_parser(
+        "bench-exec",
+        help="run the Chinook batch workload through the plan-based executor",
+    )
+    bench.add_argument(
+        "--scale", type=int, default=10,
+        help="database scale factor (rows grow roughly linearly)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=3,
+        help="how many times the 12-query batch is repeated",
+    )
+    bench.add_argument(
+        "--naive", action="store_true",
+        help="also run the naive nested-loop oracle and report the speedup",
+    )
     return parser
 
 
@@ -78,8 +112,12 @@ def main(argv: list[str] | None = None) -> int:
             return _run_render(args)
         if args.command == "trc":
             return _run_trc(args)
+        if args.command == "explain":
+            return _run_explain(args)
+        if args.command == "bench-exec":
+            return _run_bench_exec(args)
         return _run_study(args)
-    except SQLError as error:
+    except (SQLError, EngineError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     except BrokenPipeError:
@@ -116,6 +154,66 @@ def _run_trc(args: argparse.Namespace) -> int:
     print(tree.describe())
     print()
     print(logic_tree_to_trc(tree).text)
+    return 0
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    from .catalog.builtin import beers_schema, sailors_schema
+    from .catalog.chinook import chinook_schema
+    from .relational import Database, Executor
+
+    schemas = {
+        "chinook": chinook_schema,
+        "sailors": sailors_schema,
+        "beers": beers_schema,
+    }
+    database = Database(schemas[args.schema]())
+    query = parse(_read_sql(args.sql_file))
+    print(Executor(database).explain(query))
+    return 0
+
+
+def _run_bench_exec(args: argparse.Namespace) -> int:
+    import time
+
+    from .relational import BatchExecutor, ExecutionMode
+    from .workloads import chinook_bench_database, chinook_join_workload
+
+    database = chinook_bench_database(scale=args.scale)
+    queries = chinook_join_workload(repeat=args.repeat)
+    print(
+        f"database: chinook scale={args.scale} ({database.total_rows()} rows), "
+        f"workload: {len(queries)} queries"
+    )
+
+    batch = BatchExecutor(database)
+    start = time.perf_counter()
+    planned_results = batch.run(queries)
+    planned_elapsed = time.perf_counter() - start
+    total_rows = sum(len(result) for result in planned_results)
+    print(
+        f"planned:  {planned_elapsed * 1000:8.1f} ms "
+        f"({len(queries) / planned_elapsed:8.1f} q/s, {total_rows} result rows)"
+    )
+    print(f"caches:   {batch.stats().describe()}")
+
+    if args.naive:
+        oracle = BatchExecutor(database, mode=ExecutionMode.NAIVE)
+        start = time.perf_counter()
+        naive_results = oracle.run(queries)
+        naive_elapsed = time.perf_counter() - start
+        print(
+            f"naive:    {naive_elapsed * 1000:8.1f} ms "
+            f"({len(queries) / naive_elapsed:8.1f} q/s)"
+        )
+        print(f"speedup:  {naive_elapsed / planned_elapsed:.1f}x")
+        agree = all(
+            p.as_set() == n.as_set()
+            for p, n in zip(planned_results, naive_results)
+        )
+        print(f"results identical to naive oracle: {'yes' if agree else 'NO'}")
+        if not agree:
+            return 1
     return 0
 
 

@@ -1,6 +1,7 @@
-"""In-memory relational engine: database, executor and aggregates."""
+"""In-memory relational engine: database, planner, executor and aggregates."""
 
 from .aggregates import AGGREGATES, apply_aggregate
+from .batch import BatchExecutor, BatchStats, execute_batch
 from .database import Database, Relation, Row
 from .errors import (
     AmbiguousColumnError,
@@ -9,15 +10,32 @@ from .errors import (
     UnknownColumnError,
     UnknownTableError,
 )
-from .executor import Executor, ResultSet, execute
+from .executor import (
+    ExecutionContext,
+    ExecutionMode,
+    ExecutionStats,
+    Executor,
+    ResultSet,
+    execute,
+)
+from .plan import BlockPlan, PlanNode
+from .planner import Planner, plan_query
 from .values import Value, compare, values_comparable
 
 __all__ = [
     "AGGREGATES",
     "AmbiguousColumnError",
+    "BatchExecutor",
+    "BatchStats",
+    "BlockPlan",
     "Database",
     "EngineError",
+    "ExecutionContext",
+    "ExecutionMode",
+    "ExecutionStats",
     "Executor",
+    "PlanNode",
+    "Planner",
     "Relation",
     "ResultSet",
     "Row",
@@ -28,5 +46,7 @@ __all__ = [
     "apply_aggregate",
     "compare",
     "execute",
+    "execute_batch",
+    "plan_query",
     "values_comparable",
 ]

@@ -1,0 +1,134 @@
+"""Batch execution pipeline: many queries over one database, shared caches.
+
+The interactive API (:func:`repro.relational.execute`) compiles and runs one
+query at a time.  Batch workloads — the study's query corpus, generated
+differential-testing workloads, benchmark sweeps — repeatedly touch the same
+tables and frequently share whole subqueries, so the batch executor keeps
+one :class:`~repro.relational.executor.ExecutionContext` alive across the
+whole run:
+
+* each distinct query AST is planned once (plan cache);
+* each relation is materialized into flat row tuples once (scan cache);
+* each distinct (subquery, correlated-values) pair is evaluated once across
+  *all* queries of the batch (subquery cache) — frozen AST nodes make the
+  subquery itself a safe cache key.
+
+The database is treated as read-only for the duration of a batch; interleave
+inserts only between batches (the scan cache keys on row counts, so plain
+inserts invalidate naturally, but in-place row mutation would not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..sql.ast import SelectQuery
+from ..sql.parser import parse
+from .database import Database
+from .executor import ExecutionContext, ExecutionMode, Executor, ResultSet
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Cache effectiveness of one batch run."""
+
+    queries: int
+    plan_hits: int
+    plan_misses: int
+    subquery_hits: int
+    subquery_misses: int
+    scan_hits: int
+    scan_misses: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.queries} queries: "
+            f"plans {self.plan_hits}/{self.plan_hits + self.plan_misses} cached, "
+            f"subqueries {self.subquery_hits}/"
+            f"{self.subquery_hits + self.subquery_misses} cached, "
+            f"scans {self.scan_hits}/{self.scan_hits + self.scan_misses} cached"
+        )
+
+
+class BatchExecutor:
+    """Executes many queries over one database with shared plan/data caches.
+
+    >>> batch = BatchExecutor(database)
+    >>> results = batch.run(queries)          # list[ResultSet]
+    >>> batch.stats().describe()
+    '12 queries: plans 4/12 cached, ...'
+
+    Accepts SQL text or parsed :class:`~repro.sql.ast.SelectQuery` objects.
+    ``mode`` defaults to planned execution; the naive oracle is available
+    for differential runs, in which case only parsing is shared.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        mode: ExecutionMode = ExecutionMode.PLANNED,
+    ) -> None:
+        self._db = database
+        self._mode = mode
+        self._context = ExecutionContext(database)
+        self._executor = Executor(database, mode=mode, context=self._context)
+        self._queries_run = 0
+
+    @property
+    def database(self) -> Database:
+        return self._db
+
+    @property
+    def mode(self) -> ExecutionMode:
+        return self._mode
+
+    @property
+    def context(self) -> ExecutionContext:
+        return self._context
+
+    def execute(self, query: SelectQuery | str) -> ResultSet:
+        """Execute one query (SQL text or AST) through the shared context."""
+        if isinstance(query, str):
+            query = parse(query)
+        self._queries_run += 1
+        return self._executor.execute(query)
+
+    def run(self, queries: Iterable[SelectQuery | str]) -> list[ResultSet]:
+        """Execute a whole workload, returning one result set per query."""
+        return [self.execute(query) for query in queries]
+
+    def iter_run(
+        self, queries: Iterable[SelectQuery | str]
+    ) -> Iterator[tuple[SelectQuery | str, ResultSet]]:
+        """Lazily yield ``(query, result)`` pairs — streaming-friendly."""
+        for query in queries:
+            yield query, self.execute(query)
+
+    def explain(self, query: SelectQuery | str) -> str:
+        """The plan the batch would use for ``query``."""
+        if isinstance(query, str):
+            query = parse(query)
+        return self._executor.explain(query)
+
+    def stats(self) -> BatchStats:
+        """Cache counters accumulated so far."""
+        counters = self._context.stats
+        return BatchStats(
+            queries=self._queries_run,
+            plan_hits=counters.plan_hits,
+            plan_misses=counters.plan_misses,
+            subquery_hits=counters.subquery_hits,
+            subquery_misses=counters.subquery_misses,
+            scan_hits=counters.scan_hits,
+            scan_misses=counters.scan_misses,
+        )
+
+
+def execute_batch(
+    queries: Sequence[SelectQuery | str],
+    database: Database,
+    mode: ExecutionMode = ExecutionMode.PLANNED,
+) -> list[ResultSet]:
+    """One-call batch execution (see :class:`BatchExecutor`)."""
+    return BatchExecutor(database, mode=mode).run(queries)

@@ -1,26 +1,36 @@
 """SQL executor for the supported fragment.
 
 The executor evaluates a :class:`~repro.sql.ast.SelectQuery` over a
-:class:`~repro.relational.database.Database` using straightforward
-nested-loop semantics:
+:class:`~repro.relational.database.Database` and supports two execution
+modes (:class:`ExecutionMode`):
 
-* the FROM clause enumerates the cartesian product of its tables;
-* WHERE predicates are evaluated per combination, with correlated subqueries
-  receiving the outer bindings through an environment of scopes;
-* ``EXISTS`` / ``IN`` / ``ANY`` / ``ALL`` follow standard SQL semantics
-  restricted to 2-valued logic (no NULLs);
-* the result uses *set semantics* (duplicate result tuples are collapsed)
-  unless the query carries aggregates, in which case GROUP BY semantics
-  apply (Appendix C.3 extension).
+* ``PLANNED`` (default) — the query is compiled by
+  :mod:`repro.relational.planner` into a logical plan (predicate pushdown,
+  hash equi-joins, semi-/anti-joins for decorrelated ``[NOT] IN``, memoized
+  correlated subqueries) and the plan is interpreted as a pipeline of
+  generators over flat row tuples.
+* ``NAIVE`` — the original nested-loop reference semantics: the FROM clause
+  enumerates the cartesian product of its tables; WHERE predicates are
+  evaluated per combination, with correlated subqueries receiving the outer
+  bindings through an environment of scopes.  This path is kept as the
+  ground-truth oracle for differential testing of the planner.
 
-Performance is not a goal — the executor exists so the logic layer and the
-diagram layer can be checked against ground-truth SQL semantics.
+Both modes implement the same fragment: ``EXISTS`` / ``IN`` / ``ANY`` /
+``ALL`` follow standard SQL semantics restricted to 2-valued logic (no
+NULLs); the result uses *set semantics* (duplicate result tuples are
+collapsed) unless the query carries aggregates, in which case GROUP BY
+semantics apply (Appendix C.3 extension).  The two modes return identical
+``as_set()`` results; only the tuple enumeration order may differ.
+
+Compiled plans, materialized scans and subquery results are cached on an
+:class:`ExecutionContext`, which can be shared across many queries — see
+:mod:`repro.relational.batch` for the batch pipeline built on top.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from itertools import product
 from typing import Iterator, Sequence
 
 from ..sql.ast import (
@@ -37,8 +47,41 @@ from ..sql.ast import (
 )
 from .aggregates import apply_aggregate
 from .database import Database, Relation, Row
-from .errors import AmbiguousColumnError, EngineError, UnknownColumnError
+from .errors import (
+    AmbiguousColumnError,
+    EngineError,
+    TypeMismatchError,
+    UnknownColumnError,
+)
+from .plan import (
+    Aggregate,
+    AntiJoin,
+    BlockPlan,
+    Col,
+    CompiledComparison,
+    Const,
+    Distinct,
+    Filter,
+    HashJoin,
+    NestedLoopJoin,
+    PlanNode,
+    Project,
+    ScalarExpr,
+    Scan,
+    SemiJoin,
+    SubqueryPred,
+)
+from .planner import Planner
+from .resolve import match_column as _match_column
+from .resolve import matches_group_key, result_columns
 from .values import Value, compare
+
+
+class ExecutionMode(enum.Enum):
+    """How queries are evaluated: planned pipelines or the naive oracle."""
+
+    NAIVE = "naive"
+    PLANNED = "planned"
 
 
 @dataclass(frozen=True)
@@ -49,14 +92,431 @@ class ResultSet:
     rows: tuple[tuple[Value, ...], ...]
 
     def as_set(self) -> frozenset[tuple[Value, ...]]:
-        """The rows as a set (the comparison used in equivalence checks)."""
-        return frozenset(self.rows)
+        """The rows as a set (the comparison used in equivalence checks).
+
+        The frozenset is computed once and cached, so repeated equivalence
+        checks and ``in`` tests don't rebuild it.
+        """
+        cached = self.__dict__.get("_row_set")
+        if cached is None:
+            cached = frozenset(self.rows)
+            # The dataclass is frozen; going through __dict__ sidesteps the
+            # frozen __setattr__ without weakening immutability of the API.
+            self.__dict__["_row_set"] = cached
+        return cached
 
     def __len__(self) -> int:
         return len(self.rows)
 
     def __contains__(self, row: tuple[Value, ...]) -> bool:
-        return row in self.rows
+        # Set semantics: containment is membership in the row *set*, not a
+        # linear scan of the tuple (the two agree because rows are deduped,
+        # but the set probe is O(1)).
+        return row in self.as_set()
+
+
+# ---------------------------------------------------------------------- #
+# shared execution context (caches + statistics)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ExecutionStats:
+    """Counters for the context's caches (useful for batch diagnostics)."""
+
+    plan_hits: int = 0
+    plan_misses: int = 0
+    subquery_hits: int = 0
+    subquery_misses: int = 0
+    scan_hits: int = 0
+    scan_misses: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "subquery_hits": self.subquery_hits,
+            "subquery_misses": self.subquery_misses,
+            "scan_hits": self.scan_hits,
+            "scan_misses": self.scan_misses,
+        }
+
+
+class ExecutionContext:
+    """Caches shared by planned executions over one database.
+
+    * **plan cache** — query AST → compiled :class:`~.plan.BlockPlan`;
+    * **scan cache** — materialized row tuples per relation (invalidated by
+      row-count changes, i.e. inserts);
+    * **subquery cache** — subquery AST + parameter values → result, shared
+      across queries so a batch re-evaluates each distinct subquery once.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.stats = ExecutionStats()
+        self._planner = Planner(database)
+        self._plans: dict[SelectQuery, BlockPlan] = {}
+        self._scans: dict[str, tuple[int, list[tuple[Value, ...]]]] = {}
+        self._subqueries: dict[tuple, object] = {}
+        self._version = database.total_rows()
+
+    def refresh(self) -> None:
+        """Drop data-dependent caches if the database grew since last use.
+
+        Called at every top-level execution.  Versioning is by total row
+        count, so plain inserts invalidate naturally; in-place mutation of
+        existing rows is not detected (treat relations as append-only while
+        a context is alive).
+        """
+        version = self.database.total_rows()
+        if version != self._version:
+            self._version = version
+            self._scans.clear()
+            self._subqueries.clear()
+
+    # -- plans ---------------------------------------------------------- #
+
+    def plan(self, query: SelectQuery) -> BlockPlan:
+        plan = self._plans.get(query)
+        if plan is None:
+            self.stats.plan_misses += 1
+            plan = self._planner.plan(query)
+            self._plans[query] = plan
+        else:
+            self.stats.plan_hits += 1
+        return plan
+
+    # -- scans ---------------------------------------------------------- #
+
+    def scan_rows(self, relation: Relation) -> list[tuple[Value, ...]]:
+        """Rows of ``relation`` as flat tuples, memoized per row count."""
+        key = relation.name.lower()
+        count = len(relation.rows)
+        cached = self._scans.get(key)
+        if cached is not None and cached[0] == count:
+            self.stats.scan_hits += 1
+            return cached[1]
+        self.stats.scan_misses += 1
+        columns = relation.columns
+        rows = [tuple(row[c] for c in columns) for row in relation.rows]
+        self._scans[key] = (count, rows)
+        return rows
+
+    # -- subqueries ------------------------------------------------------ #
+
+    def subquery_exists(self, plan: BlockPlan, params: tuple[Value, ...]) -> bool:
+        key = (plan.ast, plan.param_shape, params, "exists")
+        cached = self._subqueries.get(key)
+        if cached is None:
+            self.stats.subquery_misses += 1
+            if _prechecks_pass(plan, self, params):
+                cached = next(iter(_iter_node(plan.root, self, params)), None) is not None
+            else:
+                cached = False
+            self._subqueries[key] = cached
+        else:
+            self.stats.subquery_hits += 1
+        return cached
+
+    def subquery_values(
+        self, plan: BlockPlan, params: tuple[Value, ...]
+    ) -> "_SubqueryValues":
+        key = (plan.ast, plan.param_shape, params, "values")
+        cached = self._subqueries.get(key)
+        if cached is None:
+            self.stats.subquery_misses += 1
+            if _prechecks_pass(plan, self, params):
+                values = tuple(row[0] for row in _iter_node(plan.root, self, params))
+            else:
+                values = ()
+            cached = _SubqueryValues(values)
+            self._subqueries[key] = cached
+        else:
+            self.stats.subquery_hits += 1
+        return cached
+
+
+class _SubqueryValues:
+    """Materialized single-column subquery result with probe fast paths.
+
+    Set/min/max probes are only used when the values are homogeneous (all
+    numeric or all string) *and* the probed value is of the same family —
+    otherwise the strict comparison loop runs so type errors surface exactly
+    as in the naive executor.
+    """
+
+    __slots__ = ("values", "_family", "_set", "_min", "_max")
+
+    def __init__(self, values: tuple[Value, ...]) -> None:
+        self.values = values
+        families = {_family(v) for v in values}
+        self._family = next(iter(families)) if len(families) == 1 else None
+        self._set: frozenset | None = None
+        self._min: Value | None = None
+        self._max: Value | None = None
+
+    def _fast(self, value: Value) -> bool:
+        return self._family is not None and _family(value) == self._family
+
+    def as_set(self) -> frozenset:
+        if self._set is None:
+            self._set = frozenset(self.values)
+        return self._set
+
+    def _bounds(self) -> tuple[Value, Value]:
+        if self._min is None:
+            self._min = min(self.values)
+            self._max = max(self.values)
+        return self._min, self._max
+
+    def contains(self, value: Value) -> bool:
+        """``value = ANY(values)`` — the IN membership check."""
+        if not self.values:
+            return False
+        if self._fast(value):
+            return value in self.as_set()
+        return any(compare(value, "=", member) for member in self.values)
+
+    def quantified(self, value: Value, op: str, quantifier: str) -> bool:
+        """``value op ANY/ALL (values)`` with min/max shortcuts."""
+        if not self.values:
+            return quantifier == "ALL"
+        if not self._fast(value):
+            if quantifier == "ANY":
+                return any(compare(value, op, m) for m in self.values)
+            return all(compare(value, op, m) for m in self.values)
+        lo, hi = self._bounds()
+        if quantifier == "ANY":
+            if op == "=":
+                return value in self.as_set()
+            if op == "<>":
+                members = self.as_set()
+                return len(members) > 1 or value not in members
+            if op == "<":
+                return value < hi
+            if op == "<=":
+                return value <= hi
+            if op == ">":
+                return value > lo
+            return value >= lo  # ">="
+        # ALL
+        if op == "=":
+            return self.as_set() == {value}
+        if op == "<>":
+            return value not in self.as_set()
+        if op == "<":
+            return value < lo
+        if op == "<=":
+            return value <= lo
+        if op == ">":
+            return value > hi
+        return value >= hi  # ">="
+
+
+def _family(value: Value) -> str:
+    return "num" if isinstance(value, (int, float)) else "str"
+
+
+# ---------------------------------------------------------------------- #
+# plan interpretation: generator pipelines over flat row tuples
+# ---------------------------------------------------------------------- #
+
+
+def _eval_expr(expr: ScalarExpr, row: tuple, params: tuple) -> Value:
+    if type(expr) is Col:
+        return row[expr.slot]
+    if type(expr) is Const:
+        return expr.value
+    return params[expr.index]
+
+
+def _eval_pred(pred, row: tuple, params: tuple, context: ExecutionContext) -> bool:
+    if type(pred) is CompiledComparison:
+        return compare(
+            _eval_expr(pred.left, row, params),
+            pred.op,
+            _eval_expr(pred.right, row, params),
+        )
+    return _eval_subquery_pred(pred, row, params, context)
+
+
+def _eval_subquery_pred(
+    pred: SubqueryPred, row: tuple, params: tuple, context: ExecutionContext
+) -> bool:
+    actual = tuple(_eval_expr(e, row, params) for e in pred.param_exprs)
+    if pred.kind == "exists":
+        found = context.subquery_exists(pred.plan, actual)
+        return not found if pred.negated else found
+    value = _eval_expr(pred.value_expr, row, params)
+    values = context.subquery_values(pred.plan, actual)
+    if pred.kind == "in":
+        found = values.contains(value)
+        return not found if pred.negated else found
+    holds = values.quantified(value, pred.op, pred.quantifier)
+    return not holds if pred.negated else holds
+
+
+def _prechecks_pass(
+    plan: BlockPlan, context: ExecutionContext, params: tuple
+) -> bool:
+    return all(_eval_pred(p, (), params, context) for p in plan.prechecks)
+
+
+def _iter_node(
+    node: PlanNode, context: ExecutionContext, params: tuple
+) -> Iterator[tuple]:
+    handler = _NODE_HANDLERS.get(type(node))
+    if handler is None:
+        raise EngineError(f"unsupported plan node: {type(node).__name__}")
+    return handler(node, context, params)
+
+
+def _iter_scan(node: Scan, context: ExecutionContext, params: tuple) -> Iterator[tuple]:
+    yield from context.scan_rows(context.database.relation(node.table))
+
+
+def _iter_filter(
+    node: Filter, context: ExecutionContext, params: tuple
+) -> Iterator[tuple]:
+    predicates = node.predicates
+    for row in _iter_node(node.child, context, params):
+        if all(_eval_pred(p, row, params, context) for p in predicates):
+            yield row
+
+
+def _iter_hash_join(
+    node: HashJoin, context: ExecutionContext, params: tuple
+) -> Iterator[tuple]:
+    build: dict[tuple, list[tuple]] = {}
+    key_families: list[set[str]] = [set() for _ in node.right_keys]
+    for right_row in _iter_node(node.right, context, params):
+        key = tuple(_eval_expr(e, right_row, params) for e in node.right_keys)
+        for index, value in enumerate(key):
+            key_families[index].add(_family(value))
+        build.setdefault(key, []).append(right_row)
+    if not build:
+        return
+    left_keys = node.left_keys
+    for left_row in _iter_node(node.left, context, params):
+        key = tuple(_eval_expr(e, left_row, params) for e in left_keys)
+        for index, value in enumerate(key):
+            families = key_families[index]
+            # Mirror the naive executor: comparing a string column with a
+            # numeric one is a type error, not an empty join.
+            if len(families) > 1 or _family(value) not in families:
+                raise TypeMismatchError(
+                    f"cannot compare {type(value).__name__} with "
+                    f"values of join key {node.right_keys[index]}"
+                )
+        matches = build.get(key)
+        if matches:
+            for right_row in matches:
+                yield left_row + right_row
+
+
+def _iter_nested_loop(
+    node: NestedLoopJoin, context: ExecutionContext, params: tuple
+) -> Iterator[tuple]:
+    right_rows = list(_iter_node(node.right, context, params))
+    if not right_rows:
+        return
+    predicates = node.predicates
+    for left_row in _iter_node(node.left, context, params):
+        for right_row in right_rows:
+            row = left_row + right_row
+            if all(_eval_pred(p, row, params, context) for p in predicates):
+                yield row
+
+
+def _iter_semi_join(
+    node: SemiJoin, context: ExecutionContext, params: tuple
+) -> Iterator[tuple]:
+    # The subquery is uncorrelated with this block: its parameters depend
+    # only on enclosing blocks, so the membership set is built exactly once.
+    actual = tuple(_eval_expr(e, (), params) for e in node.param_exprs)
+    values = context.subquery_values(node.plan, actual)
+    anti = type(node) is AntiJoin
+    probe = node.probe
+    for row in _iter_node(node.child, context, params):
+        if values.contains(_eval_expr(probe, row, params)) != anti:
+            yield row
+
+
+def _iter_project(
+    node: Project, context: ExecutionContext, params: tuple
+) -> Iterator[tuple]:
+    exprs = node.exprs
+    for row in _iter_node(node.child, context, params):
+        yield tuple(_eval_expr(e, row, params) for e in exprs)
+
+
+def _iter_distinct(
+    node: Distinct, context: ExecutionContext, params: tuple
+) -> Iterator[tuple]:
+    seen: set[tuple] = set()
+    for row in _iter_node(node.child, context, params):
+        if row not in seen:
+            seen.add(row)
+            yield row
+
+
+def _iter_aggregate(
+    node: Aggregate, context: ExecutionContext, params: tuple
+) -> Iterator[tuple]:
+    groups: dict[tuple, list[tuple]] = {}
+    order: list[tuple] = []
+    for row in _iter_node(node.child, context, params):
+        key = tuple(_eval_expr(e, row, params) for e in node.group_exprs)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [row]
+            order.append(key)
+        else:
+            bucket.append(row)
+    for key in order:
+        rows = groups[key]
+        out: list[Value] = []
+        for item in node.items:
+            if item[0] == "col":
+                out.append(_eval_expr(item[1], rows[0], params))
+            else:
+                _, func, expr = item
+                if expr is None:
+                    out.append(apply_aggregate("COUNT", [1] * len(rows)))
+                else:
+                    out.append(
+                        apply_aggregate(func, [_eval_expr(expr, r, params) for r in rows])
+                    )
+        yield tuple(out)
+
+
+_NODE_HANDLERS = {
+    Scan: _iter_scan,
+    Filter: _iter_filter,
+    HashJoin: _iter_hash_join,
+    NestedLoopJoin: _iter_nested_loop,
+    SemiJoin: _iter_semi_join,
+    AntiJoin: _iter_semi_join,
+    Project: _iter_project,
+    Distinct: _iter_distinct,
+    Aggregate: _iter_aggregate,
+}
+
+
+def run_block(
+    plan: BlockPlan, context: ExecutionContext, params: tuple = ()
+) -> ResultSet:
+    """Execute a compiled block plan and materialize its result set."""
+    if not _prechecks_pass(plan, context, params):
+        return ResultSet(columns=plan.columns, rows=())
+    rows = tuple(_iter_node(plan.root, context, params))
+    return ResultSet(columns=plan.columns, rows=rows)
+
+
+# ---------------------------------------------------------------------- #
+# naive reference execution (the differential-testing oracle)
+# ---------------------------------------------------------------------- #
 
 
 class _Scope:
@@ -114,27 +574,46 @@ class _Environment:
         raise UnknownColumnError(f"unknown column {column.column!r}")
 
 
-def _match_column(relation: Relation, column: str) -> str | None:
-    lowered = column.lower()
-    for key in relation.columns:
-        if key.lower() == lowered:
-            return key
-    return None
-
-
 class Executor:
-    """Evaluates queries of the supported fragment against a database."""
+    """Evaluates queries of the supported fragment against a database.
 
-    def __init__(self, database: Database) -> None:
+    ``mode`` selects the evaluation strategy; ``context`` lets callers share
+    plan/subquery caches across executors (see :class:`ExecutionContext`).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        mode: ExecutionMode = ExecutionMode.PLANNED,
+        context: ExecutionContext | None = None,
+    ) -> None:
         self._db = database
+        self._mode = mode
+        self._context = context if context is not None else ExecutionContext(database)
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
 
+    @property
+    def mode(self) -> ExecutionMode:
+        return self._mode
+
+    @property
+    def context(self) -> ExecutionContext:
+        return self._context
+
     def execute(self, query: SelectQuery) -> ResultSet:
         """Execute ``query`` and return its result set."""
-        return self._execute_block(query, _Environment())
+        if self._mode is ExecutionMode.NAIVE:
+            return self._execute_block(query, _Environment())
+        self._context.refresh()
+        plan = self._context.plan(query)
+        return run_block(plan, self._context)
+
+    def explain(self, query: SelectQuery) -> str:
+        """EXPLAIN-style rendering of the plan the query would execute."""
+        return self._context.plan(query).describe()
 
     # ------------------------------------------------------------------ #
     # block evaluation
@@ -315,7 +794,7 @@ class Executor:
             row: list[Value] = []
             for item in query.select_items:
                 if isinstance(item, ColumnRef):
-                    if item not in query.group_by and not self._matches_group_key(
+                    if item not in query.group_by and not matches_group_key(
                         item, query
                     ):
                         raise EngineError(
@@ -329,13 +808,6 @@ class Executor:
             rows.append(tuple(row))
         return ResultSet(columns=columns, rows=tuple(rows))
 
-    def _matches_group_key(self, column: ColumnRef, query: SelectQuery) -> bool:
-        return any(
-            column.column.lower() == group.column.lower()
-            and (column.table is None or group.table is None or column.table.lower() == group.table.lower())
-            for group in query.group_by
-        )
-
     def _aggregate_value(
         self, item: AggregateCall, group_envs: list[_Environment]
     ) -> Value:
@@ -345,15 +817,15 @@ class Executor:
         return apply_aggregate(item.func, values)
 
     def _result_columns(self, query: SelectQuery) -> tuple[str, ...]:
-        if query.is_select_star:
-            names: list[str] = []
-            for table in query.from_tables:
-                relation = self._db.relation(table.name)
-                names.extend(f"{table.effective_alias}.{c}" for c in relation.columns)
-            return tuple(names)
-        return tuple(str(item) for item in query.select_items)
+        return result_columns(
+            query, [self._db.relation(table.name) for table in query.from_tables]
+        )
 
 
-def execute(query: SelectQuery, database: Database) -> ResultSet:
+def execute(
+    query: SelectQuery,
+    database: Database,
+    mode: ExecutionMode = ExecutionMode.PLANNED,
+) -> ResultSet:
     """Convenience wrapper around :class:`Executor`."""
-    return Executor(database).execute(query)
+    return Executor(database, mode=mode).execute(query)

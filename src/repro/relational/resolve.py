@@ -1,0 +1,47 @@
+"""Name-resolution helpers shared by the naive executor and the planner.
+
+Both execution modes must resolve names identically — these helpers are the
+single source of truth for case-insensitive column matching, GROUP BY
+validation and result-column labelling, so a fix to one mode cannot
+silently desynchronize the other (the exact divergence class the
+differential test suite exists to catch).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sql.ast import ColumnRef, SelectQuery
+from .database import Relation
+
+
+def match_column(relation: Relation, column: str) -> str | None:
+    """The relation's column key matching ``column`` case-insensitively."""
+    lowered = column.lower()
+    for key in relation.columns:
+        if key.lower() == lowered:
+            return key
+    return None
+
+
+def matches_group_key(column: ColumnRef, query: SelectQuery) -> bool:
+    """True when ``column`` names one of the query's GROUP BY columns."""
+    return any(
+        column.column.lower() == group.column.lower()
+        and (
+            column.table is None
+            or group.table is None
+            or column.table.lower() == group.table.lower()
+        )
+        for group in query.group_by
+    )
+
+
+def result_columns(query: SelectQuery, relations: Sequence[Relation]) -> tuple[str, ...]:
+    """The result-set column labels (``relations`` in FROM-clause order)."""
+    if query.is_select_star:
+        names: list[str] = []
+        for table, relation in zip(query.from_tables, relations):
+            names.extend(f"{table.effective_alias}.{c}" for c in relation.columns)
+        return tuple(names)
+    return tuple(str(item) for item in query.select_items)

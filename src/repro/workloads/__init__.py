@@ -1,11 +1,13 @@
-"""Workload generators: random queries and synthetic databases."""
+"""Workload generators: random queries, synthetic databases, bench batches."""
 
 from .datagen import (
     beers_database,
     beers_fig3_database,
     chinook_database,
+    generic_database,
     sailors_database,
 )
+from .execbench import chinook_bench_database, chinook_join_workload
 from .querygen import QueryGenConfig, QueryGenerator
 
 __all__ = [
@@ -13,6 +15,9 @@ __all__ = [
     "QueryGenerator",
     "beers_database",
     "beers_fig3_database",
+    "chinook_bench_database",
     "chinook_database",
+    "chinook_join_workload",
+    "generic_database",
     "sailors_database",
 ]

@@ -12,6 +12,7 @@ import random
 
 from ..catalog.builtin import beers_fig3_schema, beers_schema, sailors_schema
 from ..catalog.chinook import chinook_schema
+from ..catalog.schema import Schema
 from ..relational.database import Database
 
 
@@ -79,6 +80,39 @@ def sailors_database(
         if (sid, bid, day) not in seen:
             seen.add((sid, bid, day))
             db.insert("Reserves", [sid, bid, day])
+    return db
+
+
+def generic_database(
+    schema: Schema,
+    rows_per_table: int = 8,
+    seed: int = 0,
+    string_pool: tuple[str, ...] = ("red", "green", "blue", "art", "Hitchcock"),
+) -> Database:
+    """A small database for *any* schema, with heavy value collisions.
+
+    Values are drawn from tiny pools per dtype so that joins, IN and NOT
+    EXISTS predicates all have non-trivial answers on any schema — used by
+    the differential tests to exercise schemas (students, actors, …) that
+    have no hand-written generator.
+    """
+    rng = random.Random(seed)
+    db = Database(schema)
+    for table in schema:
+        seen = set()
+        for _ in range(rows_per_table):
+            row = []
+            for attribute in table.attributes:
+                if attribute.dtype == "int":
+                    row.append(rng.randint(1, max(3, rows_per_table // 2)))
+                elif attribute.dtype == "float":
+                    row.append(rng.choice((0.5, 1.0, 2.5)))
+                else:
+                    row.append(rng.choice(string_pool))
+            key = tuple(row)
+            if key not in seen:  # keep set semantics interesting, not degenerate
+                seen.add(key)
+                db.insert(table.name, row)
     return db
 
 

@@ -1,0 +1,75 @@
+"""The Chinook catalog workload used to benchmark the relational executor.
+
+The workload is a batch of 3-table equi-join queries over the Chinook
+schema — the join shapes of the study stimuli (artist/album/track lineage,
+invoice drill-downs, playlist membership) with varying selection literals so
+the batch exercises the plan cache *and* distinct executions.  It is shared
+by ``benchmarks/test_bench_executor.py``, the ``repro bench-exec`` CLI
+command and the planner's differential tests.
+"""
+
+from __future__ import annotations
+
+from ..sql.ast import SelectQuery
+from ..sql.parser import parse
+from .datagen import chinook_database
+
+#: (template, parameter pool) — each template yields one query per parameter.
+_TEMPLATES: tuple[tuple[str, tuple[object, ...]], ...] = (
+    (
+        "SELECT A.Name FROM Artist A, Album AL, Track T "
+        "WHERE A.ArtistId = AL.ArtistId AND AL.AlbumId = T.AlbumId "
+        "AND T.GenreId = {param}",
+        (1, 2, 3, 4),
+    ),
+    (
+        "SELECT T.Name FROM Track T, InvoiceLine IL, Invoice I "
+        "WHERE T.TrackId = IL.TrackId AND IL.InvoiceId = I.InvoiceId "
+        "AND I.BillingCountry = '{param}'",
+        ("USA", "France", "Canada"),
+    ),
+    (
+        "SELECT P.Name FROM Playlist P, PlaylistTrack PT, Track T "
+        "WHERE P.PlaylistId = PT.PlaylistId AND PT.TrackId = T.TrackId "
+        "AND T.MediaTypeId = {param}",
+        (1, 2),
+    ),
+    (
+        "SELECT C.LastName FROM Customer C, Invoice I, InvoiceLine IL "
+        "WHERE C.CustomerId = I.CustomerId AND I.InvoiceId = IL.InvoiceId "
+        "AND IL.Quantity >= {param}",
+        (1, 2, 3),
+    ),
+)
+
+
+def chinook_join_workload(repeat: int = 1) -> list[SelectQuery]:
+    """The 3-table equi-join batch (12 distinct queries, repeated).
+
+    ``repeat > 1`` re-appends the same queries, which is how real batch
+    traffic looks and what the plan cache exists for.
+    """
+    queries = [
+        parse(template.format(param=param))
+        for template, pool in _TEMPLATES
+        for param in pool
+    ]
+    return queries * repeat
+
+
+def chinook_bench_database(scale: int = 10, seed: int = 3):
+    """A Chinook database sized for executor benchmarks.
+
+    ``scale=1`` is the tiny semantics-check database; the default
+    ``scale=10`` produces a few thousand rows — enough that the naive
+    cartesian evaluation visibly pays for itself while the whole benchmark
+    stays inside a test-suite time budget.
+    """
+    return chinook_database(
+        n_artists=5 * scale,
+        n_albums=8 * scale,
+        n_tracks=20 * scale,
+        n_customers=5 * scale,
+        n_invoices=10 * scale,
+        seed=seed,
+    )

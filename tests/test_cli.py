@@ -68,3 +68,31 @@ class TestTrcAndStudy:
         output = capsys.readouterr().out
         assert "42 legitimate" in output
         assert "Wilcoxon" in output
+
+
+class TestExplainAndBenchExec:
+    def test_explain_chinook_query(self, tmp_path, capsys):
+        path = tmp_path / "join.sql"
+        path.write_text(
+            "SELECT A.Name FROM Artist A, Album AL "
+            "WHERE A.ArtistId = AL.ArtistId"
+        )
+        assert main(["explain", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "HashJoin" in output and "Scan Artist AS A" in output
+
+    def test_explain_other_schema(self, tmp_path, capsys):
+        path = tmp_path / "sailors.sql"
+        path.write_text(
+            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS "
+            "(SELECT * FROM Reserves R WHERE R.sid = S.sid)"
+        )
+        assert main(["explain", str(path), "--schema", "sailors"]) == 0
+        assert "NOT EXISTS" in capsys.readouterr().out
+
+    def test_bench_exec_smoke(self, capsys):
+        # Tiny scale keeps this a functional smoke test, not a benchmark.
+        assert main(["bench-exec", "--scale", "1", "--repeat", "1", "--naive"]) == 0
+        output = capsys.readouterr().out
+        assert "planned:" in output and "speedup:" in output
+        assert "results identical to naive oracle: yes" in output

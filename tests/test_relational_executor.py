@@ -5,7 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.catalog import Schema, sailors_schema
-from repro.relational import Database, EngineError, execute
+from repro.relational import (
+    Database,
+    EngineError,
+    ExecutionMode,
+    Executor,
+    ResultSet,
+    execute,
+)
 from repro.sql import parse
 
 
@@ -214,6 +221,43 @@ class TestSubqueries:
         ]
         results = [execute(parse(sql), boats_db).as_set() for sql in variants]
         assert results[0] == results[1] == results[2] == {("ann",), ("dan",)}
+
+
+class TestResultSet:
+    def test_contains_uses_set_semantics(self):
+        result = ResultSet(columns=("a",), rows=((1,), (2,), (3,)))
+        assert (2,) in result
+        assert (9,) not in result
+
+    def test_as_set_is_cached(self):
+        result = ResultSet(columns=("a",), rows=((1,), (2,)))
+        assert result.as_set() is result.as_set()
+
+    def test_result_set_still_frozen(self):
+        result = ResultSet(columns=("a",), rows=((1,),))
+        with pytest.raises(AttributeError):
+            result.rows = ()
+
+
+class TestExecutionModes:
+    def test_both_modes_available_on_executor(self, boats_db):
+        query = parse(
+            "SELECT S.sname FROM Sailor S, Reserves R, Boat B "
+            "WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'"
+        )
+        planned = Executor(boats_db).execute(query)
+        naive = Executor(boats_db, mode=ExecutionMode.NAIVE).execute(query)
+        assert planned.as_set() == naive.as_set() == {("ann",), ("bob",)}
+
+    def test_execute_wrapper_accepts_mode(self, boats_db):
+        query = parse("SELECT S.sname FROM Sailor S WHERE S.age <= 30")
+        assert (
+            execute(query, boats_db, mode=ExecutionMode.NAIVE).as_set()
+            == execute(query, boats_db, mode=ExecutionMode.PLANNED).as_set()
+        )
+
+    def test_default_mode_is_planned(self, boats_db):
+        assert Executor(boats_db).mode is ExecutionMode.PLANNED
 
 
 class TestGroupBy:
