@@ -8,6 +8,9 @@ diagrams help users understand complicated SQL queries faster" (SIGMOD 2020):
 * :mod:`repro.logic` — Logic Trees, TRC rendering, the ∄∄ → ∀∃ simplification;
 * :mod:`repro.diagram` — diagram construction, recovery (unambiguity) and
   pattern signatures;
+* :mod:`repro.pipeline` — the staged diagram compiler: per-stage caches,
+  canonical fingerprints (Fig. 24 dedup) and corpus-scale batch rendering
+  (:class:`repro.pipeline.DiagramBatchCompiler`);
 * :mod:`repro.render` — DOT / SVG / text renderers;
 * :mod:`repro.relational` — an in-memory engine used to verify semantics,
   with a plan-based executor (pushdown, hash joins, semi-joins) and a batch
@@ -23,10 +26,17 @@ from .diagram.build import sql_to_diagram
 from .diagram.model import Diagram
 from .logic.simplify import simplify_logic_tree
 from .logic.translate import sql_to_logic_tree
+from .pipeline import (
+    CompiledDiagram,
+    DiagramBatchCompiler,
+    DiagramCompiler,
+    compile_sql,
+    fingerprint_sql,
+)
 from .sql.ast import SelectQuery
 from .sql.parser import parse
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 def queryvis(
@@ -57,17 +67,22 @@ def queryvis(
         :func:`repro.render.diagram_to_dot`, :func:`repro.render.diagram_to_svg`
         or :func:`repro.render.diagram_to_text`.
     """
-    query = parse(sql) if isinstance(sql, str) else sql
-    return sql_to_diagram(query, schema=schema, simplify=simplify)
+    return compile_sql(sql, schema=schema, simplify=simplify, formats=()).diagram
 
 
 __all__ = [
+    "CompiledDiagram",
     "Diagram",
+    "DiagramBatchCompiler",
+    "DiagramCompiler",
     "Schema",
     "SelectQuery",
     "__version__",
+    "compile_sql",
+    "fingerprint_sql",
     "parse",
     "queryvis",
     "simplify_logic_tree",
+    "sql_to_diagram",
     "sql_to_logic_tree",
 ]

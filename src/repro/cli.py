@@ -4,18 +4,24 @@ Usage (after ``pip install -e .``)::
 
     python -m repro render query.sql --format svg -o query.svg
     python -m repro render query.sql --format text --no-simplify
+    python -m repro render query.sql --row-height 18 --table-width 140
+    python -m repro fingerprint a.sql b.sql c.sql
     python -m repro trc query.sql
     python -m repro study --questions 9
     python -m repro explain query.sql
     python -m repro bench-exec --scale 10 --repeat 3
+    python -m repro bench-diagram --queries 1200 --distinct 200
 
 ``render`` turns an SQL file (or stdin when the path is ``-``) into a DOT,
-SVG or plain-text diagram; ``trc`` prints the Logic Tree and its tuple
-relational calculus; ``study`` runs the simulated user-study replication and
-prints the Fig. 7-style report; ``explain`` prints the relational engine's
-execution plan for a query; ``bench-exec`` runs the Chinook batch workload
-through the planned executor (optionally also the naive oracle) and reports
-throughput and cache statistics.
+SVG or plain-text diagram via the staged compilation pipeline;
+``fingerprint`` prints the canonical semantic fingerprint of one or more
+queries and groups them into equivalence classes; ``trc`` prints the Logic
+Tree and its tuple relational calculus; ``study`` runs the simulated
+user-study replication and prints the Fig. 7-style report; ``explain``
+prints the relational engine's execution plan for a query; ``bench-exec``
+runs the Chinook batch workload through the planned executor; and
+``bench-diagram`` compiles a generated corpus through the diagram pipeline
+cold vs. batched and reports the speedup and per-stage cache statistics.
 """
 
 from __future__ import annotations
@@ -24,22 +30,24 @@ import argparse
 import sys
 from pathlib import Path
 
-from .diagram.build import sql_to_diagram
 from .logic.simplify import simplify_logic_tree
 from .logic.translate import sql_to_logic_tree
 from .logic.trc import logic_tree_to_trc
-from .render.ascii_art import diagram_to_text
-from .render.dot import diagram_to_dot
-from .render.svg import diagram_to_svg
+from .pipeline import RENDERERS, DiagramBatchCompiler, DiagramCompiler
 from .relational.errors import EngineError
+from .render.layout import DEFAULT_LAYOUT_CONFIG, LayoutConfig
 from .sql.errors import SQLError
 from .sql.parser import parse
 
-_RENDERERS = {
-    "dot": diagram_to_dot,
-    "svg": diagram_to_svg,
-    "text": diagram_to_text,
-}
+#: (cli flag, LayoutConfig field) pairs for the ``render`` geometry knobs.
+_LAYOUT_OVERRIDES = (
+    ("row_height", "height of one attribute row in px"),
+    ("header_height", "height of the table-name header in px"),
+    ("table_width", "width of a table composite mark in px"),
+    ("column_gap", "horizontal gap between layout columns in px"),
+    ("row_gap", "vertical gap between stacked tables in px"),
+    ("margin", "outer canvas margin in px"),
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,13 +60,37 @@ def build_parser() -> argparse.ArgumentParser:
     render = subparsers.add_parser("render", help="render an SQL query as a diagram")
     render.add_argument("sql_file", help="path to a .sql file, or - for stdin")
     render.add_argument(
-        "--format", choices=sorted(_RENDERERS), default="text", help="output format"
+        "--format", choices=sorted(RENDERERS), default="text", help="output format"
     )
     render.add_argument("-o", "--output", help="output file (default: stdout)")
     render.add_argument(
         "--no-simplify",
         action="store_true",
         help="keep the literal NOT EXISTS form instead of the ∀ simplification",
+    )
+    for name, help_text in _LAYOUT_OVERRIDES:
+        default = getattr(DEFAULT_LAYOUT_CONFIG, name)
+        render.add_argument(
+            "--" + name.replace("_", "-"),
+            type=float,
+            default=None,
+            help=f"{help_text} (default: {default})",
+        )
+
+    fingerprint = subparsers.add_parser(
+        "fingerprint",
+        help="print the canonical semantic fingerprint of one or more queries",
+    )
+    fingerprint.add_argument(
+        "sql_files", nargs="+", help="paths to .sql files, or - for stdin"
+    )
+    fingerprint.add_argument(
+        "--no-simplify",
+        action="store_true",
+        help="fingerprint the literal Logic Tree instead of the simplified one",
+    )
+    fingerprint.add_argument(
+        "--full", action="store_true", help="print full 64-hex digests"
     )
 
     trc = subparsers.add_parser("trc", help="print the Logic Tree and TRC of a query")
@@ -101,6 +133,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--naive", action="store_true",
         help="also run the naive nested-loop oracle and report the speedup",
     )
+
+    bench_diagram = subparsers.add_parser(
+        "bench-diagram",
+        help="compile a generated corpus through the diagram pipeline, "
+        "cold vs. batched",
+    )
+    bench_diagram.add_argument(
+        "--queries", type=int, default=1200,
+        help="total corpus size (repeats distinct queries, like real traffic)",
+    )
+    bench_diagram.add_argument(
+        "--distinct", type=int, default=200,
+        help="number of distinct generated queries in the corpus",
+    )
+    bench_diagram.add_argument(
+        "--schema",
+        choices=("sailors", "beers", "chinook"),
+        default="sailors",
+        help="schema the generated queries range over",
+    )
+    bench_diagram.add_argument(
+        "--formats", default="svg",
+        help="comma-separated output formats to render (svg,dot,text)",
+    )
+    bench_diagram.add_argument(
+        "--seed", type=int, default=0, help="base seed for the query generator"
+    )
+    bench_diagram.add_argument(
+        "--json", help="also write the measurements to this JSON file"
+    )
     return parser
 
 
@@ -110,12 +172,16 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "render":
             return _run_render(args)
+        if args.command == "fingerprint":
+            return _run_fingerprint(args)
         if args.command == "trc":
             return _run_trc(args)
         if args.command == "explain":
             return _run_explain(args)
         if args.command == "bench-exec":
             return _run_bench_exec(args)
+        if args.command == "bench-diagram":
+            return _run_bench_diagram(args)
         return _run_study(args)
     except (SQLError, EngineError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -136,14 +202,40 @@ def _read_sql(path: str) -> str:
     return Path(path).read_text()
 
 
+def _layout_config(args: argparse.Namespace) -> LayoutConfig:
+    """The layout geometry for this invocation: defaults plus CLI overrides."""
+    overrides = {
+        name: value
+        for name, _help in _LAYOUT_OVERRIDES
+        if (value := getattr(args, name)) is not None
+    }
+    if not overrides:
+        return DEFAULT_LAYOUT_CONFIG
+    return LayoutConfig(**overrides)
+
+
 def _run_render(args: argparse.Namespace) -> int:
-    query = parse(_read_sql(args.sql_file))
-    diagram = sql_to_diagram(query, simplify=not args.no_simplify)
-    rendered = _RENDERERS[args.format](diagram)
+    compiler = DiagramCompiler(
+        simplify=not args.no_simplify, layout_config=_layout_config(args)
+    )
+    artifact = compiler.compile(_read_sql(args.sql_file), formats=(args.format,))
+    rendered = artifact.output(args.format)
     if args.output:
         Path(args.output).write_text(rendered)
     else:
         print(rendered)
+    return 0
+
+
+def _run_fingerprint(args: argparse.Namespace) -> int:
+    batch = DiagramBatchCompiler(simplify=not args.no_simplify)
+    for path in args.sql_files:
+        artifact = batch.compile(_read_sql(path), formats=())
+        digest = artifact.fingerprint if args.full else artifact.fingerprint[:16]
+        print(f"{digest}  {path}")
+    if len(args.sql_files) > 1:
+        print()
+        print(batch.report())
     return 0
 
 
@@ -214,6 +306,104 @@ def _run_bench_exec(args: argparse.Namespace) -> int:
         print(f"results identical to naive oracle: {'yes' if agree else 'NO'}")
         if not agree:
             return 1
+    return 0
+
+
+def _run_bench_diagram(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .catalog.builtin import beers_schema, sailors_schema
+    from .catalog.chinook import chinook_schema
+    from .paper_queries import FIG24_VARIANTS
+    from .sql.formatter import format_query
+    from .workloads import QueryGenConfig, QueryGenerator
+
+    schemas = {
+        "sailors": sailors_schema,
+        "beers": beers_schema,
+        "chinook": chinook_schema,
+    }
+    schema = schemas[args.schema]()
+    formats = tuple(fmt.strip() for fmt in args.formats.split(",") if fmt.strip())
+    unknown = [fmt for fmt in formats if fmt not in RENDERERS]
+    if unknown or not formats:
+        print(
+            f"error: unknown --formats {','.join(unknown) or '(empty)'}; "
+            f"choose from {','.join(sorted(RENDERERS))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    generator = QueryGenerator(
+        schema, QueryGenConfig(max_depth=2, max_tables_per_block=2)
+    )
+    distinct = [
+        format_query(generator.generate(args.seed + index))
+        for index in range(max(1, args.distinct))
+    ]
+    corpus = [distinct[index % len(distinct)] for index in range(max(1, args.queries))]
+    corpus.extend(FIG24_VARIANTS)  # the paper's equivalence trio rides along
+    print(
+        f"corpus: {len(corpus)} queries "
+        f"({len(distinct)} distinct generated + Fig. 24 trio), "
+        f"schema={args.schema}, formats={','.join(formats)}"
+    )
+
+    cold = DiagramBatchCompiler(cache=False)
+    start = time.perf_counter()
+    cold.run(corpus, formats=formats)
+    cold_elapsed = time.perf_counter() - start
+    print(
+        f"cold:     {cold_elapsed * 1000:8.1f} ms "
+        f"({len(corpus) / cold_elapsed:8.1f} q/s, every stage recompiled)"
+    )
+
+    batch = DiagramBatchCompiler()
+    start = time.perf_counter()
+    batch.run(corpus, formats=formats)
+    batched_elapsed = time.perf_counter() - start
+    stats = batch.stats()
+    speedup = cold_elapsed / batched_elapsed
+    print(
+        f"batched:  {batched_elapsed * 1000:8.1f} ms "
+        f"({len(corpus) / batched_elapsed:8.1f} q/s)"
+    )
+    print(f"speedup:  {speedup:.1f}x")
+    print(f"caches:   {stats.describe()}")
+    print(
+        f"dedup:    {batch.distinct_diagrams()} distinct diagrams "
+        f"for {len(corpus)} queries"
+    )
+    fig24_class = next(
+        (
+            cls
+            for cls in batch.equivalence_classes()
+            if any(variant.strip() in cls.queries for variant in FIG24_VARIANTS)
+        ),
+        None,
+    )
+    if fig24_class is not None:
+        print(
+            f"fig24:    {len(FIG24_VARIANTS)} variants -> 1 fingerprint "
+            f"({fig24_class.fingerprint[:16]})"
+        )
+
+    if args.json:
+        payload = {
+            "corpus_queries": len(corpus),
+            "distinct_generated": len(distinct),
+            "schema": args.schema,
+            "formats": list(formats),
+            "cold_ms": round(cold_elapsed * 1000, 1),
+            "batched_ms": round(batched_elapsed * 1000, 1),
+            "speedup": round(speedup, 1),
+            "cache_hit_rate": round(stats.hit_rate, 4),
+            "distinct_diagrams": batch.distinct_diagrams(),
+            "stages": stats.as_dict()["stages"],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"json:     wrote {args.json}")
     return 0
 
 

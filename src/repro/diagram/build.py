@@ -44,8 +44,6 @@ from ..sql.ast import (
 )
 from ..logic.errors import TranslationError
 from ..logic.logic_tree import LogicTree, LogicTreeNode, Quantifier
-from ..logic.simplify import simplify_logic_tree
-from ..logic.translate import sql_to_logic_tree
 from .model import (
     BoundingBox,
     BoxStyle,
@@ -63,11 +61,16 @@ SELECT_TABLE_ID = "__select__"
 def sql_to_diagram(
     query: SelectQuery, schema: Schema | None = None, simplify: bool = True
 ) -> Diagram:
-    """Build a QueryVis diagram straight from a parsed SQL query."""
-    tree = sql_to_logic_tree(query)
-    if simplify:
-        tree = simplify_logic_tree(tree)
-    return build_diagram(tree, schema=schema)
+    """Build a QueryVis diagram straight from a parsed SQL query.
+
+    Thin wrapper over the staged pipeline (:mod:`repro.pipeline`); corpus
+    callers should use :class:`repro.pipeline.DiagramBatchCompiler` directly
+    to share stage caches across queries.
+    """
+    # Imported lazily: the pipeline consumes build_diagram from this module.
+    from ..pipeline.compiler import compile_sql
+
+    return compile_sql(query, schema=schema, simplify=simplify, formats=()).diagram
 
 
 def build_diagram(tree: LogicTree, schema: Schema | None = None) -> Diagram:

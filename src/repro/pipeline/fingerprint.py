@@ -1,0 +1,332 @@
+"""Canonical fingerprints for Logic Trees (the Fig. 24 invariance, made a key).
+
+The paper's core claim is that syntactically different spellings of the same
+query — ``NOT EXISTS`` / ``NOT IN`` / ``NOT = ANY`` (Fig. 24) — collapse to
+one Logic Tree and hence one diagram.  This module turns that claim into an
+operational cache key: a deterministic semantic hash of the simplified Logic
+Tree that is invariant under
+
+* alias names (alpha-renaming: ``Reserves R`` vs ``Reserves X``),
+* the order of commutative predicates within a block,
+* the orientation of comparisons (``A.x < B.y`` vs ``B.y > A.x``),
+* the order of sibling subquery blocks.
+
+Two queries with equal fingerprints compile to the same diagram, so the
+pipeline's diagram/layout/render caches key on the fingerprint and dedupe
+whole equivalence classes of a corpus to a single compilation.
+
+The canonicalization is a refinement-based alpha-renaming: each alias gets a
+structural signature (table name, depth, quantifier, its selection
+predicates), iteratively refined with the signatures of its join neighbours
+— a tiny Weisfeiler-Leman pass, ample for the fragment's small trees.
+Canonical names ``t1, t2, …`` are then assigned in a canonical traversal
+(children ordered by subtree signature).  Symmetric ties fall back to input
+order: that can only *split* an equivalence class (missing a dedup
+opportunity), never merge two inequivalent queries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..sql.ast import ColumnRef, Comparison, FLIPPED_OP, SelectQuery
+from ..logic.logic_tree import LogicTree, LogicTreeNode
+from ..logic.translate import sql_to_logic_tree
+from ..logic.simplify import simplify_logic_tree
+
+_REFINEMENT_ROUNDS = 3
+
+
+def fingerprint_sql(query: SelectQuery | str, simplify: bool = True) -> str:
+    """Fingerprint an SQL query (text or AST) through the standard stages."""
+    if isinstance(query, str):
+        from ..sql.parser import parse
+
+        query = parse(query)
+    tree = sql_to_logic_tree(query)
+    if simplify:
+        tree = simplify_logic_tree(tree)
+    return fingerprint_logic_tree(tree)
+
+
+def fingerprint_logic_tree(tree: LogicTree) -> str:
+    """SHA-256 hex digest of the canonical form of ``tree``."""
+    return fingerprint_and_roles(tree)[0]
+
+
+def fingerprint_and_roles(
+    tree: LogicTree,
+) -> tuple[str, tuple[tuple[str, str, str], ...]]:
+    """The fingerprint plus the canonical-role → alias assignment.
+
+    The second element maps each canonical name to the concrete (table,
+    alias) that plays that role: ``((canonical, table, alias), ...)``,
+    sorted.  Two trees with equal fingerprints AND equal role assignments
+    build diagrams with identical labelling — which is what makes the pair
+    a safe cache key for the diagram/layout/render stages.  Equal
+    fingerprints with *different* role assignments (e.g. the selection
+    moved from alias A to its structurally symmetric twin B) are the same
+    query up to renaming but must not share rendered output.
+    """
+    form, names, table_of = _canonical_data(tree)
+    digest = hashlib.sha256(form.encode("utf-8")).hexdigest()
+    roles = tuple(
+        sorted((name, table_of[alias], alias) for alias, name in names.items())
+    )
+    return digest, roles
+
+
+def canonical_form(tree: LogicTree) -> str:
+    """Deterministic serialization of ``tree`` modulo aliases and ordering.
+
+    The tree is preprocessed exactly like diagram construction (unique
+    aliases, flattened ∃ blocks) so the fingerprint identifies precisely the
+    trees that build the same diagram structure.
+    """
+    return _canonical_data(tree)[0]
+
+
+def _canonical_data(
+    tree: LogicTree,
+) -> tuple[str, dict[str, str], dict[str, str]]:
+    # Imported here: diagram.build imports this package's compiler lazily,
+    # so a module-level import would be circular.
+    from ..diagram.build import ensure_unique_aliases, flatten_existential_blocks
+
+    tree = flatten_existential_blocks(ensure_unique_aliases(tree))
+    signatures = _alias_signatures(tree)
+    names = _canonical_names(tree, signatures)
+    table_of = {
+        table.effective_alias.lower(): table.name.lower()
+        for node in tree.iter_nodes()
+        for table in node.tables
+    }
+    body = _serialize_node(tree.root, names, signatures)
+    select = ",".join(_operand_repr(item, names) for item in tree.select_items)
+    group_by = ",".join(_column_repr(column, names) for column in tree.group_by)
+    return f"select[{select}] group[{group_by}] {body}", names, table_of
+
+
+# ---------------------------------------------------------------------- #
+# alias signatures (refinement)
+# ---------------------------------------------------------------------- #
+
+
+def _alias_signatures(tree: LogicTree) -> dict[str, str]:
+    """Structural signature per alias, refined over join neighbourhoods."""
+    owner: dict[str, LogicTreeNode] = {}
+    depth_of: dict[str, int] = {}
+    table_of: dict[str, str] = {}
+    for node, depth in tree.iter_with_depth():
+        for table in node.tables:
+            alias = table.effective_alias.lower()
+            owner[alias] = node
+            depth_of[alias] = depth
+            table_of[alias] = table.name.lower()
+
+    selections: dict[str, list[str]] = {alias: [] for alias in owner}
+    joins: dict[str, list[tuple[str, str, str, str]]] = {alias: [] for alias in owner}
+    for node, _depth in tree.iter_with_depth():
+        for predicate in node.predicates:
+            if predicate.is_join:
+                left: ColumnRef = predicate.left  # type: ignore[assignment]
+                right: ColumnRef = predicate.right  # type: ignore[assignment]
+                left_alias = _owning_alias(left, node, owner)
+                right_alias = _owning_alias(right, node, owner)
+                if left_alias is not None and right_alias is not None:
+                    joins[left_alias].append(
+                        (left.column.lower(), predicate.op, right_alias, right.column.lower())
+                    )
+                    joins[right_alias].append(
+                        (
+                            right.column.lower(),
+                            FLIPPED_OP[predicate.op],
+                            left_alias,
+                            left.column.lower(),
+                        )
+                    )
+            elif predicate.is_selection:
+                normalized = predicate.normalized_selection()
+                if isinstance(normalized.left, ColumnRef):
+                    alias = _owning_alias(normalized.left, node, owner)
+                    if alias is not None:
+                        selections[alias].append(
+                            f"{normalized.left.column.lower()}"
+                            f"{normalized.op}{normalized.right}"
+                        )
+
+    # SELECT / GROUP BY references are distinguishing features too: without
+    # them, the selected table and a structurally symmetric twin would tie
+    # and fall back to input order (breaking order-invariance).
+    outputs: dict[str, list[str]] = {alias: [] for alias in owner}
+    root = tree.root
+    for item in tree.select_items:
+        column = item if isinstance(item, ColumnRef) else getattr(item, "argument", None)
+        if isinstance(column, ColumnRef):
+            alias = _owning_alias(column, root, owner)
+            if alias is not None:
+                outputs[alias].append(f"sel:{column.column.lower()}")
+    for column in tree.group_by:
+        alias = _owning_alias(column, root, owner)
+        if alias is not None:
+            outputs[alias].append(f"grp:{column.column.lower()}")
+
+    signatures = {
+        alias: _digest(
+            table_of[alias],
+            str(depth_of[alias]),
+            str(owner[alias].quantifier),
+            *sorted(selections[alias]),
+            *sorted(outputs[alias]),
+        )
+        for alias in owner
+    }
+    # One round per alias guarantees a distinguishing feature propagates
+    # across the whole join graph (Weisfeiler-Leman converges in <= n).
+    for _round in range(max(_REFINEMENT_ROUNDS, len(owner))):
+        signatures = {
+            alias: _digest(
+                signatures[alias],
+                *sorted(
+                    f"{col}{op}{signatures[other]}.{other_col}"
+                    for col, op, other, other_col in joins[alias]
+                ),
+            )
+            for alias in signatures
+        }
+    return signatures
+
+
+def _owning_alias(
+    column: ColumnRef, node: LogicTreeNode, owner: dict[str, LogicTreeNode]
+) -> str | None:
+    """The alias a column belongs to; local single-table fallback if bare."""
+    if column.table is not None:
+        alias = column.table.lower()
+        return alias if alias in owner else None
+    if len(node.tables) == 1:
+        return node.tables[0].effective_alias.lower()
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# canonical naming and serialization
+# ---------------------------------------------------------------------- #
+
+
+def _canonical_names(tree: LogicTree, signatures: dict[str, str]) -> dict[str, str]:
+    """Assign t1, t2, … in canonical traversal order."""
+    names: dict[str, str] = {}
+
+    def visit(node: LogicTreeNode) -> None:
+        ordered = sorted(
+            enumerate(node.tables),
+            key=lambda pair: (signatures[pair[1].effective_alias.lower()], pair[0]),
+        )
+        for _index, table in ordered:
+            alias = table.effective_alias.lower()
+            names[alias] = f"t{len(names) + 1}"
+        for child in _ordered_children(node, signatures):
+            visit(child)
+
+    visit(tree.root)
+    return names
+
+
+def _ordered_children(
+    node: LogicTreeNode, signatures: dict[str, str]
+) -> list[LogicTreeNode]:
+    keyed = sorted(
+        enumerate(node.children),
+        key=lambda pair: (_subtree_key(pair[1], signatures), pair[0]),
+    )
+    return [child for _index, child in keyed]
+
+
+def _subtree_key(node: LogicTreeNode, signatures: dict[str, str]) -> str:
+    """Alias-independent structural key of a subtree, for sibling ordering."""
+    tables = sorted(signatures[t.effective_alias.lower()] for t in node.tables)
+    predicates = sorted(
+        _predicate_repr(p, signatures, qualify=_signature_qualifier(signatures))
+        for p in node.predicates
+    )
+    children = sorted(_subtree_key(child, signatures) for child in node.children)
+    return _digest(str(node.quantifier), *tables, *predicates, *children)
+
+
+def _serialize_node(
+    node: LogicTreeNode, names: dict[str, str], signatures: dict[str, str]
+) -> str:
+    tables = sorted(
+        f"{names[t.effective_alias.lower()]}={t.name.lower()}" for t in node.tables
+    )
+    predicates = sorted(
+        _predicate_repr(p, signatures, qualify=_name_qualifier(names))
+        for p in node.predicates
+    )
+    children = [
+        _serialize_node(child, names, signatures)
+        for child in _ordered_children(node, signatures)
+    ]
+    quantifier = str(node.quantifier) if node.quantifier else "root"
+    return (
+        f"({quantifier} tables[{','.join(tables)}] "
+        f"preds[{';'.join(predicates)}] children[{' '.join(children)}])"
+    )
+
+
+def _name_qualifier(names: dict[str, str]):
+    def qualify(column: ColumnRef) -> str:
+        alias = column.table.lower() if column.table else None
+        prefix = names.get(alias, "?") if alias else "?"
+        return f"{prefix}.{column.column.lower()}"
+
+    return qualify
+
+
+def _signature_qualifier(signatures: dict[str, str]):
+    def qualify(column: ColumnRef) -> str:
+        alias = column.table.lower() if column.table else None
+        prefix = signatures.get(alias, "?") if alias else "?"
+        return f"{prefix}.{column.column.lower()}"
+
+    return qualify
+
+
+def _predicate_repr(predicate: Comparison, signatures: dict[str, str], qualify) -> str:
+    """Orientation-normalized rendering of one comparison predicate."""
+    if predicate.is_join:
+        forward = f"{qualify(predicate.left)} {predicate.op} {qualify(predicate.right)}"
+        flipped = predicate.flipped()
+        backward = f"{qualify(flipped.left)} {flipped.op} {qualify(flipped.right)}"
+        return min(forward, backward)
+    normalized = predicate.normalized_selection()
+    if isinstance(normalized.left, ColumnRef):
+        return f"{qualify(normalized.left)} {normalized.op} {normalized.right}"
+    return f"{normalized.left} {normalized.op} {normalized.right}"
+
+
+def _operand_repr(item, names: dict[str, str]) -> str:
+    if isinstance(item, ColumnRef):
+        return _column_repr(item, names)
+    # AggregateCall: canonicalize the argument column too.
+    argument = item.argument
+    if isinstance(argument, ColumnRef):
+        return f"{item.func.lower()}({_column_repr(argument, names)})"
+    return f"{item.func.lower()}({argument})"
+
+
+def _column_repr(column: ColumnRef, names: dict[str, str]) -> str:
+    alias = column.table.lower() if column.table else None
+    prefix = names.get(alias, "?") if alias else "?"
+    return f"{prefix}.{column.column.lower()}"
+
+
+def _digest(*parts: str) -> str:
+    # Internal refinement signatures only need process-independent
+    # determinism, not cryptographic strength; blake2b is the fastest
+    # stable hash in the stdlib.  The reported fingerprint itself stays
+    # SHA-256 over the canonical form.
+    return hashlib.blake2b(
+        "\x1f".join(parts).encode("utf-8"), digest_size=8
+    ).hexdigest()

@@ -2,11 +2,19 @@
 
 from .ascii_art import diagram_summary, diagram_to_text
 from .dot import diagram_to_dot
-from .layout import Layout, TablePlacement, layout_diagram
+from .layout import (
+    DEFAULT_LAYOUT_CONFIG,
+    Layout,
+    LayoutConfig,
+    TablePlacement,
+    layout_diagram,
+)
 from .svg import diagram_to_svg
 
 __all__ = [
+    "DEFAULT_LAYOUT_CONFIG",
     "Layout",
+    "LayoutConfig",
     "TablePlacement",
     "diagram_summary",
     "diagram_to_dot",

@@ -10,6 +10,7 @@ a terminal without any graphics stack.
 from __future__ import annotations
 
 from ..diagram.model import BoxStyle, Diagram, RowKind
+from .layout import Layout
 
 _ROW_PREFIX = {
     RowKind.ATTRIBUTE: "",
@@ -19,10 +20,15 @@ _ROW_PREFIX = {
 }
 
 
-def diagram_to_text(diagram: Diagram) -> str:
-    """Render ``diagram`` as readable plain text."""
+def diagram_to_text(diagram: Diagram, layout: Layout | None = None) -> str:
+    """Render ``diagram`` as readable plain text.
+
+    When the pipeline already computed a :class:`Layout`, pass it in: its
+    ``order`` is the same reading order this renderer would otherwise
+    re-derive from the diagram.
+    """
     lines: list[str] = []
-    order = diagram.reading_order()
+    order = layout.order if layout is not None and layout.order else diagram.reading_order()
     for table_id in order:
         table = diagram.table(table_id)
         box = diagram.box_of(table_id)

@@ -15,6 +15,7 @@ text, which renders with any stock ``dot`` installation.
 from __future__ import annotations
 
 from ..diagram.model import BoxStyle, Diagram, DiagramTable, RowKind
+from .layout import Layout
 
 _HEADER_BG = "#000000"
 _HEADER_FG = "#ffffff"
@@ -23,8 +24,16 @@ _SELECTION_BG = "#ffffaa"
 _GROUP_BY_BG = "#dddddd"
 
 
-def diagram_to_dot(diagram: Diagram, graph_name: str = "queryvis") -> str:
-    """Render ``diagram`` as GraphViz DOT text."""
+def diagram_to_dot(
+    diagram: Diagram, graph_name: str = "queryvis", layout: Layout | None = None
+) -> str:
+    """Render ``diagram`` as GraphViz DOT text.
+
+    When the pipeline's layout stage already ran, pass its :class:`Layout`:
+    the shared reading order then fixes the emission order of unboxed nodes
+    (GraphViz uses statement order as a layout hint) instead of this emitter
+    deriving its own ordering from the diagram.
+    """
     lines: list[str] = []
     lines.append(f"digraph {_quote_id(graph_name)} {{")
     lines.append("    rankdir=LR;")
@@ -39,14 +48,17 @@ def diagram_to_dot(diagram: Diagram, graph_name: str = "queryvis") -> str:
         lines.append(f"    subgraph cluster_{index} {{")
         lines.append(f"        style={style};")
         lines.append(f"        peripheries={peripheries};")
-        lines.append(f"        label=\"\";")
+        lines.append("        label=\"\";")
         for table_id in sorted(box.table_ids):
             lines.append(_node_statement(diagram.table(table_id), indent="        "))
         lines.append("    }")
 
-    for table in diagram.tables:
-        if table.table_id not in boxed:
-            lines.append(_node_statement(table, indent="    "))
+    unboxed = [table for table in diagram.tables if table.table_id not in boxed]
+    if layout is not None and layout.order:
+        position = {table_id: index for index, table_id in enumerate(layout.order)}
+        unboxed.sort(key=lambda t: position.get(t.table_id, len(position)))
+    for table in unboxed:
+        lines.append(_node_statement(table, indent="    "))
 
     for edge in diagram.edges:
         source = f"{_quote_id(edge.source.table_id)}:{_port(edge.source.row_key)}"

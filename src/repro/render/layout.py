@@ -10,11 +10,17 @@ and their natural reading order is left to right from the SELECT box
   breadth-first distance from the SELECT table;
 * within a column, tables are stacked top to bottom in reading order;
 * each table's pixel size follows from its row count.
+
+All pixel geometry is collected in :class:`LayoutConfig` so callers (the CLI
+and the diagram-compilation pipeline) can override it; the module-level
+constants remain as the defaults.  The computed :class:`Layout` also records
+the diagram's reading order so every renderer can reuse the one computation
+from the pipeline's layout stage instead of re-deriving it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..diagram.model import Diagram, DiagramTable
 
@@ -27,6 +33,32 @@ MARGIN = 30
 
 
 @dataclass(frozen=True)
+class LayoutConfig:
+    """Pixel geometry of the layered layout (one knob per old constant)."""
+
+    row_height: float = ROW_HEIGHT
+    header_height: float = HEADER_HEIGHT
+    table_width: float = TABLE_WIDTH
+    column_gap: float = COLUMN_GAP
+    row_gap: float = ROW_GAP
+    margin: float = MARGIN
+
+    def cache_key(self) -> tuple[float, ...]:
+        """Hashable identity used by the pipeline's stage caches."""
+        return (
+            self.row_height,
+            self.header_height,
+            self.table_width,
+            self.column_gap,
+            self.row_gap,
+            self.margin,
+        )
+
+
+DEFAULT_LAYOUT_CONFIG = LayoutConfig()
+
+
+@dataclass(frozen=True)
 class TablePlacement:
     """Pixel-space placement of one table composite mark."""
 
@@ -35,6 +67,8 @@ class TablePlacement:
     y: float
     width: float
     height: float
+    header_height: float = HEADER_HEIGHT
+    row_height: float = ROW_HEIGHT
 
     @property
     def right(self) -> float:
@@ -46,53 +80,71 @@ class TablePlacement:
 
     def row_anchor(self, row_index: int) -> tuple[float, float]:
         """Centre-left/right anchor y-coordinate of a row."""
-        y = self.y + HEADER_HEIGHT + ROW_HEIGHT * (row_index + 0.5)
+        y = self.y + self.header_height + self.row_height * (row_index + 0.5)
         return self.x, y
 
 
 @dataclass(frozen=True)
 class Layout:
-    """Placements for every table plus the overall canvas size."""
+    """Placements for every table plus the overall canvas size.
+
+    ``order`` is the diagram's reading order (Section 4.6), computed once
+    here and shared by the SVG, DOT and text renderers; ``config`` is the
+    geometry the placements were computed with.
+    """
 
     placements: dict[str, TablePlacement]
     width: float
     height: float
+    order: tuple[str, ...] = ()
+    config: LayoutConfig = field(default=DEFAULT_LAYOUT_CONFIG)
 
     def placement(self, table_id: str) -> TablePlacement:
         return self.placements[table_id]
 
 
-def layout_diagram(diagram: Diagram) -> Layout:
+def layout_diagram(diagram: Diagram, config: LayoutConfig | None = None) -> Layout:
     """Compute a layered layout for ``diagram``."""
-    columns = _assign_columns(diagram)
+    config = config or DEFAULT_LAYOUT_CONFIG
+    order = tuple(diagram.reading_order())
+    columns = _assign_columns(diagram, order)
     placements: dict[str, TablePlacement] = {}
     max_bottom = 0.0
     max_right = 0.0
     for column_index in sorted(columns):
-        x = MARGIN + column_index * (TABLE_WIDTH + COLUMN_GAP)
-        y = float(MARGIN)
+        x = config.margin + column_index * (config.table_width + config.column_gap)
+        y = float(config.margin)
         for table in columns[column_index]:
-            height = HEADER_HEIGHT + ROW_HEIGHT * max(1, len(table.rows))
+            height = config.header_height + config.row_height * max(1, len(table.rows))
             placements[table.table_id] = TablePlacement(
-                table_id=table.table_id, x=x, y=y, width=TABLE_WIDTH, height=height
+                table_id=table.table_id,
+                x=x,
+                y=y,
+                width=config.table_width,
+                height=height,
+                header_height=config.header_height,
+                row_height=config.row_height,
             )
-            y += height + ROW_GAP
+            y += height + config.row_gap
             max_bottom = max(max_bottom, y)
-        max_right = max(max_right, x + TABLE_WIDTH)
+        max_right = max(max_right, x + config.table_width)
     return Layout(
         placements=placements,
-        width=max_right + MARGIN,
-        height=max_bottom + MARGIN,
+        width=max_right + config.margin,
+        height=max_bottom + config.margin,
+        order=order,
+        config=config,
     )
 
 
-def _assign_columns(diagram: Diagram) -> dict[int, list[DiagramTable]]:
+def _assign_columns(
+    diagram: Diagram, order: tuple[str, ...]
+) -> dict[int, list[DiagramTable]]:
     depth_of: dict[str, int] = {}
     for key, value in diagram.metadata.items():
         if key.startswith("depth."):
             depth_of[key[len("depth.") :]] = int(value)
 
-    order = diagram.reading_order()
     rank: dict[str, int] = {}
     for table in diagram.tables:
         if table.is_select:

@@ -9,14 +9,23 @@ lines with arrowheads and operator labels) using the layered layout from
 from __future__ import annotations
 
 from ..diagram.model import BoxStyle, Diagram, RowKind
-from .layout import HEADER_HEIGHT, Layout, ROW_HEIGHT, layout_diagram
+from .layout import Layout, LayoutConfig, layout_diagram
 
 _FONT = "font-family=\"Helvetica, Arial, sans-serif\" font-size=\"12\""
 
 
-def diagram_to_svg(diagram: Diagram, layout: Layout | None = None) -> str:
-    """Render ``diagram`` as an SVG document string."""
-    layout = layout or layout_diagram(diagram)
+def diagram_to_svg(
+    diagram: Diagram,
+    layout: Layout | None = None,
+    config: LayoutConfig | None = None,
+) -> str:
+    """Render ``diagram`` as an SVG document string.
+
+    Pass a precomputed ``layout`` (the pipeline's layout stage does) to share
+    one layout computation across renderers; otherwise one is derived here
+    from ``config``.
+    """
+    layout = layout or layout_diagram(diagram, config=config)
     parts: list[str] = []
     parts.append(
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{layout.width:.0f}" '
@@ -54,14 +63,14 @@ def _render_tables(diagram: Diagram, layout: Layout) -> list[str]:
         )
         parts.append(
             f'<rect x="{placement.x}" y="{placement.y}" width="{placement.width}" '
-            f'height="{HEADER_HEIGHT}" fill="{header_fill}"/>'
+            f'height="{placement.header_height}" fill="{header_fill}"/>'
         )
         parts.append(
-            f'<text x="{placement.x + 6}" y="{placement.y + HEADER_HEIGHT - 7}" '
+            f'<text x="{placement.x + 6}" y="{placement.y + placement.header_height - 7}" '
             f'fill="{header_color}" {_FONT} font-weight="bold">{_escape(table.name)}</text>'
         )
         for index, row in enumerate(table.rows):
-            row_y = placement.y + HEADER_HEIGHT + index * ROW_HEIGHT
+            row_y = placement.y + placement.header_height + index * placement.row_height
             fill = None
             if row.kind is RowKind.SELECTION:
                 fill = "#ffffaa"
@@ -70,10 +79,10 @@ def _render_tables(diagram: Diagram, layout: Layout) -> list[str]:
             if fill:
                 parts.append(
                     f'<rect x="{placement.x}" y="{row_y}" width="{placement.width}" '
-                    f'height="{ROW_HEIGHT}" fill="{fill}"/>'
+                    f'height="{placement.row_height}" fill="{fill}"/>'
                 )
             parts.append(
-                f'<text x="{placement.x + 6}" y="{row_y + ROW_HEIGHT - 7}" '
+                f'<text x="{placement.x + 6}" y="{row_y + placement.row_height - 7}" '
                 f'fill="#000000" {_FONT}>{_escape(row.label)}</text>'
             )
     return parts

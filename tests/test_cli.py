@@ -48,6 +48,48 @@ class TestRender:
         assert main(["render", str(bad)]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_layout_overrides_change_svg_geometry(self, sql_file, capsys):
+        assert main(["render", str(sql_file), "--format", "svg"]) == 0
+        default_svg = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "render", str(sql_file), "--format", "svg",
+                    "--row-height", "11", "--table-width", "85",
+                ]
+            )
+            == 0
+        )
+        narrow_svg = capsys.readouterr().out
+        assert narrow_svg != default_svg
+        assert 'width="85.0"' in narrow_svg
+
+
+class TestFingerprint:
+    def test_single_file_prints_short_digest(self, sql_file, capsys):
+        assert main(["fingerprint", str(sql_file)]) == 0
+        output = capsys.readouterr().out.strip()
+        digest, path = output.split()
+        assert len(digest) == 16 and path == str(sql_file)
+
+    def test_full_digest(self, sql_file, capsys):
+        assert main(["fingerprint", str(sql_file), "--full"]) == 0
+        assert len(capsys.readouterr().out.split()[0]) == 64
+
+    def test_fig24_variants_grouped_into_one_class(self, tmp_path, capsys):
+        from repro.paper_queries import FIG24_VARIANTS
+
+        paths = []
+        for index, variant in enumerate(FIG24_VARIANTS):
+            path = tmp_path / f"variant{index}.sql"
+            path.write_text(variant)
+            paths.append(str(path))
+        assert main(["fingerprint", *paths]) == 0
+        output = capsys.readouterr().out
+        digests = {line.split()[0] for line in output.splitlines()[:3]}
+        assert len(digests) == 1
+        assert "3 compilations, 1 distinct diagrams" in output
+
 
 class TestTrcAndStudy:
     def test_trc_output(self, sql_file, capsys):
@@ -96,3 +138,30 @@ class TestExplainAndBenchExec:
         output = capsys.readouterr().out
         assert "planned:" in output and "speedup:" in output
         assert "results identical to naive oracle: yes" in output
+
+    def test_bench_diagram_smoke(self, capsys, tmp_path):
+        # Tiny corpus keeps this a functional smoke test, not a benchmark.
+        json_path = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "bench-diagram", "--queries", "30", "--distinct", "10",
+                    "--formats", "svg,text", "--json", str(json_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "cold:" in output and "batched:" in output and "speedup:" in output
+        assert "fig24:    3 variants -> 1 fingerprint" in output
+
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["corpus_queries"] == 33
+        assert payload["distinct_diagrams"] <= 13
+        assert 0.0 <= payload["cache_hit_rate"] <= 1.0
+
+    def test_bench_diagram_rejects_unknown_format(self, capsys):
+        assert main(["bench-diagram", "--formats", "svg,bogus"]) == 2
+        assert "error: unknown --formats bogus" in capsys.readouterr().err

@@ -11,7 +11,10 @@ randomly generated non-degenerate queries rather than hand-picked examples:
 4. diagram → Logic Tree recovery is unique and inverts construction
    (Proposition 5.1) for non-degenerate queries of depth ≤ 3;
 5. the BH procedure and the Wilcoxon test behave like their reference
-   implementations on random inputs.
+   implementations on random inputs;
+6. the canonical fingerprint is invariant under alias renaming and
+   predicate reordering (the Fig. 24 invariance, generalized), and the
+   Fig. 24 trio itself compiles to one fingerprint and byte-identical SVG.
 """
 
 from __future__ import annotations
@@ -61,6 +64,13 @@ class TestParserProperties:
     @settings(max_examples=60, deadline=None)
     def test_format_parse_roundtrip(self, seed):
         query = _GENERATOR.generate(seed)
+        assert parse(format_query(query)) == query
+
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_format_parse_roundtrip_deep(self, seed):
+        """The roundtrip also holds for deep multi-table queries."""
+        query = _DEEP_GENERATOR.generate(seed)
         assert parse(format_query(query)) == query
 
     @given(seed=seeds)
@@ -146,6 +156,83 @@ class TestDiagramProperties:
         order = diagram.reading_order()
         assert sorted(order) == sorted(t.table_id for t in diagram.tables)
         assert order[0] == diagram.select_table_id
+
+
+class TestFingerprintProperties:
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_invariant_under_alias_renaming(self, seed):
+        from dataclasses import replace
+
+        from repro.pipeline import fingerprint_sql
+        from repro.sql.ast import ColumnRef, Comparison, SelectQuery, TableRef
+
+        query = _DEEP_GENERATOR.generate(seed)
+
+        def rename(name: str) -> str:
+            return f"zz_{name}"
+
+        def rename_column(column):
+            if isinstance(column, ColumnRef) and column.table is not None:
+                return ColumnRef(rename(column.table), column.column)
+            return column
+
+        def rename_block(block: SelectQuery) -> SelectQuery:
+            tables = tuple(
+                TableRef(name=t.name, alias=rename(t.effective_alias))
+                for t in block.from_tables
+            )
+            where = []
+            for predicate in block.where:
+                if isinstance(predicate, Comparison):
+                    where.append(
+                        Comparison(
+                            rename_column(predicate.left),
+                            predicate.op,
+                            rename_column(predicate.right),
+                        )
+                    )
+                else:  # Exists — the only subquery kind querygen emits
+                    where.append(replace(predicate, query=rename_block(predicate.query)))
+            select_items = tuple(rename_column(item) for item in block.select_items)
+            return replace(
+                block,
+                select_items=select_items,
+                from_tables=tables,
+                where=tuple(where),
+            )
+
+        assert fingerprint_sql(rename_block(query)) == fingerprint_sql(query)
+
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_invariant_under_predicate_reversal(self, seed):
+        from dataclasses import replace
+
+        from repro.pipeline import fingerprint_sql
+        from repro.sql.ast import SelectQuery
+
+        query = _DEEP_GENERATOR.generate(seed)
+
+        def reverse_block(block: SelectQuery) -> SelectQuery:
+            where = []
+            for predicate in reversed(block.where):
+                if hasattr(predicate, "query"):
+                    predicate = replace(predicate, query=reverse_block(predicate.query))
+                where.append(predicate)
+            return replace(block, where=tuple(where))
+
+        assert fingerprint_sql(reverse_block(query)) == fingerprint_sql(query)
+
+    def test_fig24_trio_one_fingerprint_and_identical_svg(self):
+        from repro.paper_queries import FIG24_VARIANTS
+        from repro.pipeline import DiagramBatchCompiler
+
+        batch = DiagramBatchCompiler()
+        artifacts = batch.run(FIG24_VARIANTS, formats=("svg",))
+        assert len({a.fingerprint for a in artifacts}) == 1
+        assert len({a.output("svg") for a in artifacts}) == 1
+        assert batch.distinct_diagrams() == 1
 
 
 class TestStatsProperties:

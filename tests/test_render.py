@@ -6,6 +6,7 @@ import pytest
 
 from repro import queryvis
 from repro.render import (
+    LayoutConfig,
     diagram_summary,
     diagram_to_dot,
     diagram_to_svg,
@@ -107,6 +108,40 @@ class TestSvgAndLayout:
     def test_svg_canvas_large_enough(self, nested_diagram):
         layout = layout_diagram(nested_diagram)
         assert layout.width > 400 and layout.height > 100
+
+
+class TestSharedLayout:
+    def test_layout_records_reading_order(self, nested_diagram):
+        layout = layout_diagram(nested_diagram)
+        assert layout.order == tuple(nested_diagram.reading_order())
+
+    def test_renderers_accept_precomputed_layout(self, nested_diagram):
+        layout = layout_diagram(nested_diagram)
+        assert diagram_to_svg(nested_diagram, layout=layout) == diagram_to_svg(
+            nested_diagram
+        )
+        assert diagram_to_text(nested_diagram, layout=layout) == diagram_to_text(
+            nested_diagram
+        )
+        assert diagram_to_dot(nested_diagram, layout=layout) == diagram_to_dot(
+            nested_diagram
+        )
+
+    def test_layout_config_scales_geometry(self, nested_diagram):
+        default = layout_diagram(nested_diagram)
+        compact = layout_diagram(
+            nested_diagram, LayoutConfig(row_height=11, table_width=85, column_gap=45)
+        )
+        assert compact.width < default.width
+        for table_id, placement in compact.placements.items():
+            assert placement.width == 85
+            assert placement.height < default.placement(table_id).height
+
+    def test_svg_honours_layout_config(self, nested_diagram):
+        compact = diagram_to_svg(
+            nested_diagram, config=LayoutConfig(row_height=11, header_height=13)
+        )
+        assert 'height="13"' in compact
 
 
 class TestText:
