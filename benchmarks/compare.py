@@ -1,0 +1,152 @@
+"""Benchmark-regression gate: diff fresh bench output against a baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m repro bench-diagram --json fresh.json [...]
+    python benchmarks/compare.py fresh.json \
+        [--baseline benchmarks/BENCH_diagram.json] [--tolerance 0.4]
+
+Two classes of checks:
+
+* **Deterministic facts must match exactly.**  Corpus composition, the
+  number of distinct diagrams, the overall cache hit rate and the
+  per-stage hit/miss counters are pure functions of the corpus and the
+  pipeline — any drift is a behavior change (lost dedup, a stage suddenly
+  recompiling), not noise, and fails the gate.
+* **Performance ratios must stay inside a tolerance band.**  Absolute
+  milliseconds vary per machine, so the gate compares the *speedup ratios*
+  the benchmark derives (batched-vs-cold, persistent-warm-vs-cold): each
+  must reach ``baseline * (1 - tolerance)``.  The default band (40%) is
+  wide on purpose — the gate exists to catch "the cache stopped working"
+  (a 5-10x collapse), not 10% jitter on shared CI runners.
+
+Exit code 0 = within bounds, 1 = regression, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Keys that are deterministic given the corpus + pipeline version.
+EXACT_KEYS = (
+    "corpus_queries",
+    "distinct_generated",
+    "schema",
+    "formats",
+    "distinct_diagrams",
+    "cache_hit_rate",
+)
+
+#: Ratio keys gated by the tolerance band (fresh >= baseline * (1 - tol)).
+RATIO_KEYS = ("speedup", "persistent_speedup_vs_cold")
+
+#: Keys that must be truthy whenever both sides carry them.
+FLAG_KEYS = ("parallel_identical",)
+
+
+def compare(
+    fresh: dict, baseline: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Return (failures, notes) from diffing ``fresh`` against ``baseline``."""
+    failures: list[str] = []
+    notes: list[str] = []
+
+    for key in EXACT_KEYS:
+        if key not in baseline:
+            continue
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh output")
+        elif fresh[key] != baseline[key]:
+            failures.append(
+                f"{key}: expected {baseline[key]!r}, measured {fresh[key]!r}"
+            )
+
+    for stage, counters in baseline.get("stages", {}).items():
+        fresh_counters = fresh.get("stages", {}).get(stage)
+        if fresh_counters is None:
+            failures.append(f"stages.{stage}: missing from fresh output")
+            continue
+        for counter in ("hits", "misses"):
+            if fresh_counters.get(counter) != counters.get(counter):
+                failures.append(
+                    f"stages.{stage}.{counter}: expected "
+                    f"{counters.get(counter)}, measured {fresh_counters.get(counter)}"
+                )
+
+    for key in RATIO_KEYS:
+        if key not in baseline:
+            continue
+        floor = baseline[key] * (1.0 - tolerance)
+        measured = fresh.get(key)
+        if measured is None:
+            failures.append(f"{key}: missing from fresh output")
+        elif measured < floor:
+            failures.append(
+                f"{key}: measured {measured:.2f}x, below tolerance floor "
+                f"{floor:.2f}x (baseline {baseline[key]:.2f}x - {tolerance:.0%})"
+            )
+        else:
+            notes.append(
+                f"{key}: {measured:.2f}x (baseline {baseline[key]:.2f}x, "
+                f"floor {floor:.2f}x)"
+            )
+
+    for key in FLAG_KEYS:
+        if key in baseline and not fresh.get(key, False):
+            failures.append(f"{key}: baseline requires it, fresh output says no")
+
+    for key in ("cold_ms", "batched_ms", "persistent_warm_ms", "parallel_ms"):
+        if key in baseline and key in fresh:
+            notes.append(
+                f"{key}: {fresh[key]} (baseline machine: {baseline[key]}; "
+                "absolute times are informational only)"
+            )
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff fresh `repro bench-diagram --json` output "
+        "against a checked-in baseline"
+    )
+    parser.add_argument("fresh", help="path to the freshly measured JSON")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).parent / "BENCH_diagram.json"),
+        help="checked-in baseline JSON (default: benchmarks/BENCH_diagram.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.4,
+        help="allowed relative shortfall on speedup ratios (default: 0.4)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        fresh = json.loads(Path(args.fresh).read_text())
+        baseline = json.loads(Path(args.baseline).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    failures, notes = compare(fresh, baseline, args.tolerance)
+    for note in notes:
+        print(f"  ok    {note}")
+    for failure in failures:
+        print(f"  FAIL  {failure}")
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark regression(s) vs {args.baseline} "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+        return 1
+    print(f"\nbenchmarks within bounds of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -163,6 +163,52 @@ def build_parser() -> argparse.ArgumentParser:
     bench_diagram.add_argument(
         "--json", help="also write the measurements to this JSON file"
     )
+    bench_diagram.add_argument(
+        "--workers", type=int, default=None,
+        help="also time a process-parallel run with this many workers",
+    )
+    bench_diagram.add_argument(
+        "--disk-cache",
+        help="persistent cache directory; also times a cross-process warm start",
+    )
+
+    warm = subparsers.add_parser(
+        "warm-cache",
+        help="precompile a corpus into a persistent on-disk cache",
+    )
+    warm.add_argument(
+        "--disk-cache", required=True,
+        help="directory of the persistent cache to populate",
+    )
+    warm.add_argument(
+        "--queries", type=int, default=1200,
+        help="total corpus size (repeats distinct queries, like real traffic)",
+    )
+    warm.add_argument(
+        "--distinct", type=int, default=200,
+        help="number of distinct generated queries in the corpus",
+    )
+    warm.add_argument(
+        "--schema",
+        choices=("sailors", "beers", "chinook"),
+        default="sailors",
+        help="schema the generated queries range over",
+    )
+    warm.add_argument(
+        "--formats", default="svg",
+        help="comma-separated output formats to prebuild (svg,dot,text)",
+    )
+    warm.add_argument(
+        "--seed", type=int, default=0, help="base seed for the query generator"
+    )
+    warm.add_argument(
+        "--workers", type=int, default=None,
+        help="fan the corpus over this many worker processes",
+    )
+    warm.add_argument(
+        "sql_files", nargs="*",
+        help="additional .sql files to precompile into the cache",
+    )
     return parser
 
 
@@ -182,6 +228,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_bench_exec(args)
         if args.command == "bench-diagram":
             return _run_bench_diagram(args)
+        if args.command == "warm-cache":
+            return _run_warm_cache(args)
         return _run_study(args)
     except (SQLError, EngineError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -309,10 +357,21 @@ def _run_bench_exec(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_bench_diagram(args: argparse.Namespace) -> int:
-    import json
-    import time
+def _resolve_formats(args: argparse.Namespace) -> tuple[str, ...] | None:
+    formats = tuple(fmt.strip() for fmt in args.formats.split(",") if fmt.strip())
+    unknown = [fmt for fmt in formats if fmt not in RENDERERS]
+    if unknown or not formats:
+        print(
+            f"error: unknown --formats {','.join(unknown) or '(empty)'}; "
+            f"choose from {','.join(sorted(RENDERERS))}",
+            file=sys.stderr,
+        )
+        return None
+    return formats
 
+
+def _generated_corpus(args: argparse.Namespace) -> tuple[list[str], int]:
+    """The benchmark/warm-up corpus: generated queries + the Fig. 24 trio."""
     from .catalog.builtin import beers_schema, sailors_schema
     from .catalog.chinook import chinook_schema
     from .paper_queries import FIG24_VARIANTS
@@ -325,16 +384,6 @@ def _run_bench_diagram(args: argparse.Namespace) -> int:
         "chinook": chinook_schema,
     }
     schema = schemas[args.schema]()
-    formats = tuple(fmt.strip() for fmt in args.formats.split(",") if fmt.strip())
-    unknown = [fmt for fmt in formats if fmt not in RENDERERS]
-    if unknown or not formats:
-        print(
-            f"error: unknown --formats {','.join(unknown) or '(empty)'}; "
-            f"choose from {','.join(sorted(RENDERERS))}",
-            file=sys.stderr,
-        )
-        return 2
-
     generator = QueryGenerator(
         schema, QueryGenConfig(max_depth=2, max_tables_per_block=2)
     )
@@ -344,9 +393,22 @@ def _run_bench_diagram(args: argparse.Namespace) -> int:
     ]
     corpus = [distinct[index % len(distinct)] for index in range(max(1, args.queries))]
     corpus.extend(FIG24_VARIANTS)  # the paper's equivalence trio rides along
+    return corpus, len(distinct)
+
+
+def _run_bench_diagram(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .paper_queries import FIG24_VARIANTS
+
+    formats = _resolve_formats(args)
+    if formats is None:
+        return 2
+    corpus, distinct_count = _generated_corpus(args)
     print(
         f"corpus: {len(corpus)} queries "
-        f"({len(distinct)} distinct generated + Fig. 24 trio), "
+        f"({distinct_count} distinct generated + Fig. 24 trio), "
         f"schema={args.schema}, formats={','.join(formats)}"
     )
 
@@ -361,7 +423,7 @@ def _run_bench_diagram(args: argparse.Namespace) -> int:
 
     batch = DiagramBatchCompiler()
     start = time.perf_counter()
-    batch.run(corpus, formats=formats)
+    batched_artifacts = batch.run(corpus, formats=formats)
     batched_elapsed = time.perf_counter() - start
     stats = batch.stats()
     speedup = cold_elapsed / batched_elapsed
@@ -389,21 +451,94 @@ def _run_bench_diagram(args: argparse.Namespace) -> int:
             f"({fig24_class.fingerprint[:16]})"
         )
 
+    payload = {
+        "corpus_queries": len(corpus),
+        "distinct_generated": distinct_count,
+        "schema": args.schema,
+        "formats": list(formats),
+        "cold_ms": round(cold_elapsed * 1000, 1),
+        "batched_ms": round(batched_elapsed * 1000, 1),
+        "speedup": round(speedup, 1),
+        "cache_hit_rate": round(stats.hit_rate, 4),
+        "distinct_diagrams": batch.distinct_diagrams(),
+        "stages": stats.as_dict()["stages"],
+    }
+
+    if args.workers:
+        parallel = DiagramBatchCompiler()
+        start = time.perf_counter()
+        parallel_artifacts = parallel.run(corpus, formats=formats, workers=args.workers)
+        parallel_elapsed = time.perf_counter() - start
+        identical = all(
+            a.fingerprint == b.fingerprint and a.outputs == b.outputs
+            for a, b in zip(batched_artifacts, parallel_artifacts)
+        ) and parallel.equivalence_classes() == batch.equivalence_classes()
+        print(
+            f"parallel: {parallel_elapsed * 1000:8.1f} ms "
+            f"({len(corpus) / parallel_elapsed:8.1f} q/s, workers={args.workers}, "
+            f"identical to serial: {'yes' if identical else 'NO'})"
+        )
+        payload["workers"] = args.workers
+        payload["parallel_ms"] = round(parallel_elapsed * 1000, 1)
+        payload["parallel_identical"] = identical
+        if not identical:
+            return 1
+
+    if args.disk_cache:
+        populate = DiagramBatchCompiler(disk_cache=args.disk_cache)
+        start = time.perf_counter()
+        populate.run(corpus, formats=formats)
+        populate_elapsed = time.perf_counter() - start
+        warm = DiagramBatchCompiler(disk_cache=args.disk_cache)
+        start = time.perf_counter()
+        warm.run(corpus, formats=formats)
+        warm_elapsed = time.perf_counter() - start
+        disk_stats = warm.compiler.disk_cache.stats
+        print(
+            f"persist:  {populate_elapsed * 1000:8.1f} ms populate, "
+            f"{warm_elapsed * 1000:8.1f} ms cross-process warm start "
+            f"({cold_elapsed / warm_elapsed:.1f}x vs cold, "
+            f"{disk_stats.hits} disk hits)"
+        )
+        payload["persistent_populate_ms"] = round(populate_elapsed * 1000, 1)
+        payload["persistent_warm_ms"] = round(warm_elapsed * 1000, 1)
+        payload["persistent_speedup_vs_cold"] = round(
+            cold_elapsed / warm_elapsed, 1
+        )
+
     if args.json:
-        payload = {
-            "corpus_queries": len(corpus),
-            "distinct_generated": len(distinct),
-            "schema": args.schema,
-            "formats": list(formats),
-            "cold_ms": round(cold_elapsed * 1000, 1),
-            "batched_ms": round(batched_elapsed * 1000, 1),
-            "speedup": round(speedup, 1),
-            "cache_hit_rate": round(stats.hit_rate, 4),
-            "distinct_diagrams": batch.distinct_diagrams(),
-            "stages": stats.as_dict()["stages"],
-        }
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"json:     wrote {args.json}")
+    return 0
+
+
+def _run_warm_cache(args: argparse.Namespace) -> int:
+    import time
+
+    formats = _resolve_formats(args)
+    if formats is None:
+        return 2
+    corpus, distinct_count = _generated_corpus(args)
+    for path in args.sql_files:
+        corpus.append(_read_sql(path))
+    batch = DiagramBatchCompiler(disk_cache=args.disk_cache)
+    start = time.perf_counter()
+    batch.run(corpus, formats=formats, workers=args.workers)
+    elapsed = time.perf_counter() - start
+    disk = batch.compiler.disk_cache
+    if args.workers and args.workers > 1:
+        # The parent compiler never touched the store itself; reopen for
+        # accurate entry counts (workers wrote through their own handles).
+        from .pipeline import DiskCache
+
+        disk = DiskCache(Path(args.disk_cache))
+    print(
+        f"warmed {args.disk_cache}: {len(corpus)} queries "
+        f"({distinct_count} distinct generated) in {elapsed * 1000:.1f} ms"
+        + (f" with {args.workers} workers" if args.workers else "")
+    )
+    print(f"entries:  {disk.entry_count()} cached stage products on disk")
+    print(f"caches:   {batch.stats().describe()}")
     return 0
 
 

@@ -30,8 +30,6 @@ which is why IN/EXISTS subqueries do not clutter the diagram with boxes.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from ..catalog.schema import Schema
 from ..sql.ast import (
     AggregateCall,
@@ -87,10 +85,17 @@ def build_diagram(tree: LogicTree, schema: Schema | None = None) -> Diagram:
 
 
 def ensure_unique_aliases(tree: LogicTree) -> LogicTree:
-    """Rename reused table aliases so every alias is unique tree-wide."""
+    """Rename reused table aliases so every alias is unique tree-wide.
+
+    Trees without alias collisions — the overwhelmingly common case — are
+    returned unchanged (same object), so the cold compile path does not pay
+    a full tree copy just to discover there was nothing to rename.
+    """
     used: set[str] = set()
     new_root = _unique_aliases_node(tree.root, used)
-    return replace(tree, root=new_root)
+    if new_root is tree.root:
+        return tree
+    return LogicTree(new_root, tree.select_items, tree.group_by)
 
 
 def _unique_aliases_node(node: LogicTreeNode, used: set[str]) -> LogicTreeNode:
@@ -108,10 +113,14 @@ def _unique_aliases_node(node: LogicTreeNode, used: set[str]) -> LogicTreeNode:
             alias = new_alias
         used.add(alias.lower())
         new_tables.append(table)
-    node = replace(node, tables=tuple(new_tables))
     if renames:
+        node = LogicTreeNode(
+            tuple(new_tables), node.predicates, node.quantifier, node.children
+        )
         node = _rename_aliases(node, renames)
     children = tuple(_unique_aliases_node(child, used) for child in node.children)
+    if children == node.children and not renames:
+        return node
     return node.with_children(children)
 
 
@@ -130,7 +139,7 @@ def _rename_aliases(node: LogicTreeNode, renames: dict[str, str]) -> LogicTreeNo
 
     new_predicates = tuple(rename_predicate(p) for p in node.predicates)
     new_children = tuple(_rename_aliases(child, renames) for child in node.children)
-    return replace(node, predicates=new_predicates, children=new_children)
+    return LogicTreeNode(node.tables, new_predicates, node.quantifier, new_children)
 
 
 def flatten_existential_blocks(tree: LogicTree) -> LogicTree:
@@ -140,14 +149,25 @@ def flatten_existential_blocks(tree: LogicTree) -> LogicTree:
     so flattening preserves semantics; it is what makes IN/EXISTS subqueries
     appear as plain joins in the diagram (Fig. 6 of the paper draws the
     tables of the NOT EXISTS block inside a single dashed box).
+
+    Trees without ∃ children anywhere are returned unchanged (same object).
     """
-    return replace(tree, root=_flatten_node(tree.root))
+    new_root = _flatten_node(tree.root)
+    if new_root is tree.root:
+        return tree
+    return LogicTree(new_root, tree.select_items, tree.group_by)
 
 
 def _flatten_node(node: LogicTreeNode) -> LogicTreeNode:
-    children = [_flatten_node(child) for child in node.children]
+    children = tuple(_flatten_node(child) for child in node.children)
     if node.quantifier is Quantifier.FOR_ALL:
-        return node.with_children(tuple(children))
+        if children == node.children:
+            return node
+        return node.with_children(children)
+    if not any(child.quantifier is Quantifier.EXISTS for child in children):
+        if children == node.children:
+            return node
+        return node.with_children(children)
     merged_tables = list(node.tables)
     merged_predicates = list(node.predicates)
     new_children: list[LogicTreeNode] = []
@@ -158,11 +178,11 @@ def _flatten_node(node: LogicTreeNode) -> LogicTreeNode:
             new_children.extend(child.children)
         else:
             new_children.append(child)
-    return replace(
-        node,
-        tables=tuple(merged_tables),
-        predicates=tuple(merged_predicates),
-        children=tuple(new_children),
+    return LogicTreeNode(
+        tuple(merged_tables),
+        tuple(merged_predicates),
+        node.quantifier,
+        tuple(new_children),
     )
 
 

@@ -17,10 +17,11 @@ calculus representation of the query but makes the nesting scopes explicit.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterator
 
-from ..sql.ast import AggregateCall, ColumnRef, Comparison, TableRef
+from ..sql.ast import AggregateCall, ColumnRef, Comparison, FrozenNode, TableRef
+from ..sql.ast import _hash_field
 
 
 class Quantifier(enum.Enum):
@@ -34,14 +35,23 @@ class Quantifier(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
-class LogicTreeNode:
-    """One query block of the Logic Tree."""
+@dataclass(frozen=True, slots=True)
+class LogicTreeNode(FrozenNode):
+    """One query block of the Logic Tree.
+
+    Like the AST nodes, Logic Tree nodes are slotted with a lazily cached
+    hash: the simplify and fingerprint stage caches key directly on (trees
+    of) these nodes, and traversal helpers are stack-based rather than
+    recursive — the cold compile path walks every tree several times.
+    """
 
     tables: tuple[TableRef, ...]
     predicates: tuple[Comparison, ...] = ()
     quantifier: Quantifier | None = None
     children: tuple["LogicTreeNode", ...] = ()
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
+
 
     # ------------------------------------------------------------------ #
     # structural helpers
@@ -52,31 +62,41 @@ class LogicTreeNode:
         return frozenset(table.effective_alias.lower() for table in self.tables)
 
     def iter_nodes(self) -> Iterator["LogicTreeNode"]:
-        """Yield this node and all descendants in pre-order."""
-        yield self
-        for child in self.children:
-            yield from child.iter_nodes()
+        """Yield this node and all descendants in pre-order (stack-based)."""
+        stack: list[LogicTreeNode] = [self]
+        pop = stack.pop
+        while stack:
+            node = pop()
+            yield node
+            if node.children:
+                stack.extend(reversed(node.children))
 
     def iter_with_depth(self, depth: int = 0) -> Iterator[tuple["LogicTreeNode", int]]:
-        """Yield (node, nesting depth) pairs in pre-order."""
-        yield self, depth
-        for child in self.children:
-            yield from child.iter_with_depth(depth + 1)
+        """Yield (node, nesting depth) pairs in pre-order (stack-based)."""
+        stack: list[tuple[LogicTreeNode, int]] = [(self, depth)]
+        pop = stack.pop
+        while stack:
+            node, level = pop()
+            yield node, level
+            if node.children:
+                stack.extend((child, level + 1) for child in reversed(node.children))
 
     def depth(self) -> int:
         """Maximum nesting depth below (and including) this node."""
-        if not self.children:
-            return 0
-        return 1 + max(child.depth() for child in self.children)
+        deepest = 0
+        for _node, level in self.iter_with_depth():
+            if level > deepest:
+                deepest = level
+        return deepest
 
     def node_count(self) -> int:
         return sum(1 for _ in self.iter_nodes())
 
     def with_quantifier(self, quantifier: Quantifier | None) -> "LogicTreeNode":
-        return replace(self, quantifier=quantifier)
+        return LogicTreeNode(self.tables, self.predicates, quantifier, self.children)
 
     def with_children(self, children: tuple["LogicTreeNode", ...]) -> "LogicTreeNode":
-        return replace(self, children=children)
+        return LogicTreeNode(self.tables, self.predicates, self.quantifier, children)
 
     def describe(self) -> str:
         """Compact single-node description used in debugging and tests."""
@@ -86,13 +106,16 @@ class LogicTreeNode:
         return f"[{quantifier}] T:{{{tables}}} P:{{{predicates}}}"
 
 
-@dataclass(frozen=True)
-class LogicTree:
+@dataclass(frozen=True, slots=True)
+class LogicTree(FrozenNode):
     """A complete Logic Tree: the root block plus its SELECT/GROUP BY lists."""
 
     root: LogicTreeNode
     select_items: tuple[ColumnRef | AggregateCall, ...]
     group_by: tuple[ColumnRef, ...] = field(default=())
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
+
 
     def iter_nodes(self) -> Iterator[LogicTreeNode]:
         return self.root.iter_nodes()

@@ -19,17 +19,20 @@ the reading order the diagrams are optimised for.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from .logic_tree import LogicTree, LogicTreeNode, Quantifier
 
 
 def simplify_logic_tree(tree: LogicTree) -> LogicTree:
-    """Return a new tree with the ∄∄ → ∀∃ rewrite applied top-down."""
-    new_root = tree.root.with_children(
-        tuple(_simplify_node(child) for child in tree.root.children)
-    )
-    return replace(tree, root=new_root)
+    """Return a new tree with the ∄∄ → ∀∃ rewrite applied top-down.
+
+    Trees the rewrite does not touch — identical children after the pass —
+    are returned unchanged (same object, no copy).
+    """
+    root = tree.root
+    new_children = tuple(_simplify_node(child) for child in root.children)
+    if new_children == root.children:
+        return tree
+    return LogicTree(root.with_children(new_children), tree.select_items, tree.group_by)
 
 
 def count_universal_nodes(tree: LogicTree) -> int:
@@ -43,12 +46,37 @@ def count_universal_nodes(tree: LogicTree) -> int:
 
 
 def _simplify_node(node: LogicTreeNode) -> LogicTreeNode:
-    if _rewrite_applicable(node):
-        child = node.children[0]
-        child = child.with_quantifier(Quantifier.EXISTS)
-        node = replace(node, quantifier=Quantifier.FOR_ALL, children=(child,))
-    children = tuple(_simplify_node(child) for child in node.children)
-    return node.with_children(children)
+    """Apply the rewrite below ``node`` with an explicit two-phase stack.
+
+    Phase ``_VISIT`` applies the (top-down, outermost-first) rewrite at the
+    node and schedules its children; phase ``_BUILD`` pops the rebuilt
+    children off the result stack and reassembles the node.  Equivalent to
+    the natural recursion, without Python frames per tree level — and nodes
+    whose subtree is untouched are returned as-is instead of copied.
+    """
+    work: list[tuple[bool, LogicTreeNode]] = [(False, node)]
+    results: list[LogicTreeNode] = []
+    while work:
+        build, current = work.pop()
+        if not build:
+            if _rewrite_applicable(current):
+                child = current.children[0].with_quantifier(Quantifier.EXISTS)
+                current = LogicTreeNode(
+                    current.tables, current.predicates, Quantifier.FOR_ALL, (child,)
+                )
+            work.append((True, current))
+            for child in current.children:
+                work.append((False, child))
+        else:
+            arity = len(current.children)
+            if arity:
+                # Children were pushed in order, so they complete in reverse.
+                rebuilt = tuple(results[-arity:][::-1])
+                del results[-arity:]
+                if rebuilt != current.children:
+                    current = current.with_children(rebuilt)
+            results.append(current)
+    return results[0]
 
 
 def _rewrite_applicable(node: LogicTreeNode) -> bool:

@@ -31,13 +31,26 @@ from .logic_tree import LogicTree, LogicTreeNode, Quantifier
 def sql_to_logic_tree(query: SelectQuery) -> LogicTree:
     """Translate a parsed SQL query into its Logic Tree."""
     select_items = _root_select_items(query)
+    comparisons, subqueries = _split_where(query)
     root = LogicTreeNode(
         tables=query.from_tables,
-        predicates=tuple(query.comparisons()),
+        predicates=comparisons,
         quantifier=None,
-        children=tuple(_translate_subquery(p) for p in query.subquery_predicates()),
+        children=tuple(_translate_subquery(p) for p in subqueries),
     )
     return LogicTree(root=root, select_items=select_items, group_by=query.group_by)
+
+
+def _split_where(query: SelectQuery) -> tuple[tuple[Comparison, ...], list]:
+    """Partition the WHERE conjunction in one pass (it is walked twice else)."""
+    comparisons: list[Comparison] = []
+    subqueries: list = []
+    for predicate in query.where:
+        if isinstance(predicate, Comparison):
+            comparisons.append(predicate)
+        else:
+            subqueries.append(predicate)
+    return tuple(comparisons), subqueries
 
 
 # ---------------------------------------------------------------------- #
@@ -92,13 +105,12 @@ def _translate_block(
 ) -> LogicTreeNode:
     if query.group_by or query.has_aggregates:
         raise TranslationError("nested query blocks may not use GROUP BY or aggregates")
-    predicates = tuple(query.comparisons()) + extra_predicates
-    children = tuple(_translate_subquery(p) for p in query.subquery_predicates())
+    comparisons, subqueries = _split_where(query)
     return LogicTreeNode(
         tables=query.from_tables,
-        predicates=predicates,
+        predicates=comparisons + extra_predicates,
         quantifier=quantifier,
-        children=children,
+        children=tuple(_translate_subquery(p) for p in subqueries),
     )
 
 

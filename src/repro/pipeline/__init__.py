@@ -15,6 +15,14 @@ the stage graph and cache-key definitions.
 
 from .batch import DiagramBatchCompiler, EquivalenceClass, compile_corpus
 from .compiler import RENDERERS, CompiledDiagram, DiagramCompiler, compile_sql
+from .diskcache import (
+    DEFAULT_DISK_STAGES,
+    PIPELINE_CACHE_VERSION,
+    DiskCache,
+    DiskCacheStats,
+    default_cache_version,
+    stable_key_digest,
+)
 from .fingerprint import (
     canonical_form,
     fingerprint_and_roles,
@@ -25,9 +33,13 @@ from .stages import STAGE_NAMES, PipelineStats, StageCache, StageCounter
 
 __all__ = [
     "CompiledDiagram",
+    "DEFAULT_DISK_STAGES",
     "DiagramBatchCompiler",
     "DiagramCompiler",
+    "DiskCache",
+    "DiskCacheStats",
     "EquivalenceClass",
+    "PIPELINE_CACHE_VERSION",
     "PipelineStats",
     "RENDERERS",
     "STAGE_NAMES",
@@ -36,6 +48,7 @@ __all__ = [
     "canonical_form",
     "compile_corpus",
     "compile_sql",
+    "default_cache_version",
     "fingerprint_and_roles",
     "fingerprint_logic_tree",
     "fingerprint_sql",

@@ -46,8 +46,10 @@ only computed when an output format is requested (or lazily on first
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from pathlib import Path
+from typing import Callable, Hashable, Mapping
 
 from ..catalog.schema import Schema
 from ..diagram.build import build_diagram
@@ -60,10 +62,15 @@ from ..render.dot import diagram_to_dot
 from ..render.layout import DEFAULT_LAYOUT_CONFIG, Layout, LayoutConfig, layout_diagram
 from ..render.svg import diagram_to_svg
 from ..sql.ast import SelectQuery
-from ..sql.lexer import tokenize
+from ..sql.lexer import scan
 from ..sql.parser import Parser
+from .diskcache import DiskCache
 from .fingerprint import fingerprint_and_roles
 from .stages import PipelineStats, StageCache
+
+def _parse_stream(stream) -> SelectQuery:
+    return Parser(stream).parse_query()
+
 
 #: Output formats the render stage knows, mapped to layout-sharing renderers.
 RENDERERS: dict[str, Callable[[Diagram, Layout], str]] = {
@@ -85,6 +92,10 @@ class CompiledDiagram:
     diagram: Diagram
     layout_config: LayoutConfig = DEFAULT_LAYOUT_CONFIG
     outputs: Mapping[str, str] = field(default_factory=dict)
+    #: Canonical-role → (table, alias) assignment from the fingerprint
+    #: stage; (fingerprint, roles) identifies the diagram/layout/render
+    #: cache entries this artifact was served from.
+    roles: tuple[tuple[str, str, str], ...] = ()
     _layout: Layout | None = field(default=None, repr=False, compare=False)
 
     @property
@@ -125,12 +136,30 @@ class DiagramCompiler:
         simplify: bool = True,
         layout_config: LayoutConfig | None = None,
         cache: bool = True,
+        disk_cache: "DiskCache | str | Path | None" = None,
     ) -> None:
         self._schema = schema
         self._simplify = simplify
         self._layout_config = layout_config or DEFAULT_LAYOUT_CONFIG
         self._stats = PipelineStats()
-        self._cache = StageCache(self._stats, enabled=cache)
+        if isinstance(disk_cache, (str, Path)):
+            disk_cache = DiskCache(Path(disk_cache))
+        self._disk_cache = disk_cache
+        # A compiler's schema / simplify flag / layout geometry are fixed at
+        # construction and therefore absent from stage keys; a *shared*
+        # persistent store must not mix entries across configurations, so
+        # they become the disk namespace instead.
+        namespace = ""
+        if disk_cache is not None:
+            namespace = hashlib.sha256(
+                f"{schema!r}|{simplify}|{self._layout_config!r}".encode("utf-8")
+            ).hexdigest()[:16]
+        self._cache = StageCache(
+            self._stats,
+            enabled=cache,
+            disk=disk_cache,
+            disk_namespace=namespace,
+        )
 
     # ------------------------------------------------------------------ #
     # public API
@@ -149,6 +178,10 @@ class DiagramCompiler:
 
     def cache_sizes(self) -> dict[str, int]:
         return self._cache.sizes()
+
+    @property
+    def disk_cache(self) -> DiskCache | None:
+        return self._disk_cache
 
     def compile(
         self,
@@ -173,23 +206,29 @@ class DiagramCompiler:
             "artifact", memo_key, lambda: self._compile_stages(query, formats)
         )
 
+    def _front_half(
+        self, query: SelectQuery | str
+    ) -> tuple[SelectQuery, LogicTree, LogicTree, str, tuple]:
+        """lex → parse → logic → simplify → fingerprint (no diagram work)."""
+        ast = self._front_end(query)
+        cache = self._cache
+        tree = cache.get_or_compute("logic", ast, sql_to_logic_tree, ast)
+        if self._simplify:
+            simplified = cache.get_or_compute(
+                "simplify", tree, simplify_logic_tree, tree
+            )
+        else:
+            simplified = tree
+        fingerprint, roles = cache.get_or_compute(
+            "fingerprint", simplified, fingerprint_and_roles, simplified
+        )
+        return ast, tree, simplified, fingerprint, roles
+
     def _compile_stages(
         self, query: SelectQuery | str, formats: tuple[str, ...]
     ) -> CompiledDiagram:
         sql_text = query if isinstance(query, str) else None
-        ast = self._front_end(query)
-        tree = self._cache.get_or_compute(
-            "logic", ast, lambda: sql_to_logic_tree(ast)
-        )
-        if self._simplify:
-            simplified = self._cache.get_or_compute(
-                "simplify", tree, lambda: simplify_logic_tree(tree)
-            )
-        else:
-            simplified = tree
-        fingerprint, roles = self._cache.get_or_compute(
-            "fingerprint", simplified, lambda: fingerprint_and_roles(simplified)
-        )
+        ast, tree, simplified, fingerprint, roles = self._front_half(query)
         # The back half is keyed on (fingerprint, canonical-role → alias
         # assignment): equivalent variants dedupe to one diagram, but only
         # when each concrete alias plays the same structural role — an
@@ -198,23 +237,17 @@ class DiagramCompiler:
         # diagram instead of being served the representative's.
         diagram_key = (fingerprint, roles)
         diagram = self._cache.get_or_compute(
-            "diagram",
-            diagram_key,
-            lambda: build_diagram(simplified, schema=self._schema),
+            "diagram", diagram_key, build_diagram, simplified, self._schema
         )
         layout = None
         outputs: dict[str, str] = {}
         if formats:
             layout = self._cache.get_or_compute(
-                "layout",
-                diagram_key,
-                lambda: layout_diagram(diagram, self._layout_config),
+                "layout", diagram_key, layout_diagram, diagram, self._layout_config
             )
             outputs = {
                 fmt: self._cache.get_or_compute(
-                    "render",
-                    diagram_key + (fmt,),
-                    lambda fmt=fmt: RENDERERS[fmt](diagram, layout),
+                    "render", diagram_key + (fmt,), RENDERERS[fmt], diagram, layout
                 )
                 for fmt in formats
             }
@@ -227,12 +260,20 @@ class DiagramCompiler:
             diagram=diagram,
             layout_config=self._layout_config,
             outputs=outputs,
+            roles=roles,
             _layout=layout,
         )
 
     def fingerprint(self, query: SelectQuery | str) -> str:
-        """Canonical fingerprint of ``query`` through the cached front end."""
-        return self.compile(query, formats=()).fingerprint
+        """Canonical fingerprint of ``query`` through the cached front end.
+
+        Runs only the front half of the pipeline (lex → parse → logic →
+        simplify → fingerprint): fingerprint-only callers — corpus dedup
+        reports, equivalence checks, the cold-path benchmark — do not pay
+        for diagram construction.
+        """
+        self._stats.queries += 1
+        return self._front_half(query)[3]
 
     # ------------------------------------------------------------------ #
     # stages
@@ -243,11 +284,15 @@ class DiagramCompiler:
         if isinstance(query, SelectQuery):
             return query
         text = query.strip()
-        tokens = self._cache.get_or_compute("lex", text, lambda: tokenize(text))
-        token_key = tuple((token.type, token.value) for token in tokens)
-        return self._cache.get_or_compute(
-            "parse", token_key, lambda: Parser(tokens).parse_query()
-        )
+        stream = self._cache.get_or_compute("lex", text, scan, text)
+        if not self._cache.enabled:
+            # A disabled cache ignores keys, so don't build the (type, value)
+            # tuple the parse stage would key on — the cold path parses
+            # every query anyway.
+            token_key: Hashable = None
+        else:
+            token_key = tuple(zip(stream.types, stream.values))
+        return self._cache.get_or_compute("parse", token_key, _parse_stream, stream)
 
 
 def compile_sql(

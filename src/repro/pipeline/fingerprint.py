@@ -23,6 +23,16 @@ Canonical names ``t1, t2, …`` are then assigned in a canonical traversal
 (children ordered by subtree signature).  Symmetric ties fall back to input
 order: that can only *split* an equivalence class (missing a dedup
 opportunity), never merge two inequivalent queries.
+
+This is the single hottest cold-path stage, so the implementation avoids
+per-node hashing entirely: refinement signatures are *rank-compressed* each
+round (feature tuples are sorted and replaced by dense integer ranks — the
+classic colour-refinement trick), subtree keys are plain orderable tuples
+memoized bottom-up, and every traversal is an explicit work-list instead of
+recursion.  Ranks are functions of tree *content* only (never of dict or
+input order), so fingerprints stay deterministic across processes and runs
+— which the persistent cache and the parallel batch API both rely on.  The
+reported fingerprint itself stays SHA-256 over the canonical form.
 """
 
 from __future__ import annotations
@@ -34,7 +44,27 @@ from ..logic.logic_tree import LogicTree, LogicTreeNode
 from ..logic.translate import sql_to_logic_tree
 from ..logic.simplify import simplify_logic_tree
 
+#: Minimum refinement rounds (actual count adapts to alias count and stops
+#: early once the partition into signature classes is stable).
 _REFINEMENT_ROUNDS = 3
+
+#: Quantifier → feature string (``str(Quantifier)`` is a Python call per
+#: node per use; this is one dict probe).  ``None`` maps exactly like the
+#: historical ``str(None)`` / serialize-time ``"root"`` spellings.
+from ..logic.logic_tree import Quantifier as _Q  # noqa: E402
+
+_QUANT_FEATURE = {
+    None: "None",
+    _Q.EXISTS: "∃",
+    _Q.NOT_EXISTS: "∄",
+    _Q.FOR_ALL: "∀",
+}
+_QUANT_LABEL = {
+    None: "root",
+    _Q.EXISTS: "∃",
+    _Q.NOT_EXISTS: "∄",
+    _Q.FOR_ALL: "∀",
+}
 
 
 def fingerprint_sql(query: SelectQuery | str, simplify: bool = True) -> str:
@@ -86,74 +116,227 @@ def canonical_form(tree: LogicTree) -> str:
     return _canonical_data(tree)[0]
 
 
+_PREPROCESS = None
+
+
 def _canonical_data(
     tree: LogicTree,
 ) -> tuple[str, dict[str, str], dict[str, str]]:
-    # Imported here: diagram.build imports this package's compiler lazily,
-    # so a module-level import would be circular.
-    from ..diagram.build import ensure_unique_aliases, flatten_existential_blocks
+    global _PREPROCESS
+    if _PREPROCESS is None:
+        # Imported here: diagram.build imports this package's compiler
+        # lazily, so a module-level import would be circular.  Bound once —
+        # the import-machinery probe is measurable on the per-query path.
+        from ..diagram.build import ensure_unique_aliases, flatten_existential_blocks
 
-    tree = flatten_existential_blocks(ensure_unique_aliases(tree))
-    signatures = _alias_signatures(tree)
-    names = _canonical_names(tree, signatures)
-    table_of = {
-        table.effective_alias.lower(): table.name.lower()
-        for node in tree.iter_nodes()
-        for table in node.tables
-    }
-    body = _serialize_node(tree.root, names, signatures)
+        _PREPROCESS = (ensure_unique_aliases, flatten_existential_blocks)
+    ensure_unique, flatten = _PREPROCESS
+    tree = flatten(ensure_unique(tree))
+    index = _TreeIndex(tree)
+    ranks = _alias_ranks(tree, index)
+    order = _ordered_children_map(tree, index, ranks)
+    names = _canonical_names(tree, index, ranks, order)
+    body = _serialize(tree.root, index, names, order)
     select = ",".join(_operand_repr(item, names) for item in tree.select_items)
     group_by = ",".join(_column_repr(column, names) for column in tree.group_by)
-    return f"select[{select}] group[{group_by}] {body}", names, table_of
+    return f"select[{select}] group[{group_by}] {body}", names, index.table_of
+
+
+def _needs_child_ordering(index: _TreeIndex) -> bool:
+    """Whether any node has siblings to order canonically.
+
+    Subtree keys exist solely to order sibling subquery blocks; in chains
+    (every node ≤ 1 child) — the overwhelmingly common shape — the input
+    order is the only order and the whole keying pass can be skipped.
+    """
+    for node, _depth in index.nodes:
+        if len(node.children) > 1:
+            return True
+    return False
+
+
+class _TreeIndex:
+    """One-pass, pre-lowered view of a tree for the canonicalization below.
+
+    Everything the refinement, ordering and serialization steps consume —
+    lowered aliases and column names, join orientations, owner-resolved
+    predicate attribution — is derived exactly once per tree here, instead
+    of re-lowering and re-resolving on every use (the canonicalization
+    walks each predicate several times).
+    """
+
+    __slots__ = ("nodes", "tables", "preds", "owner_node", "depth_of", "table_of")
+
+    def __init__(self, tree: LogicTree) -> None:
+        #: (node, depth) pairs in pre-order.
+        self.nodes = list(tree.iter_with_depth())
+        #: id(node) → ((alias, table_name), ...), both lowered.
+        self.tables: dict[int, tuple[tuple[str, str], ...]] = {}
+        #: id(node) → predicate descriptors (see ``_descriptor``).
+        self.preds: dict[int, tuple[tuple, ...]] = {}
+        #: alias → owning node (aliases are unique after preprocessing).
+        self.owner_node: dict[str, LogicTreeNode] = {}
+        self.depth_of: dict[str, int] = {}
+        self.table_of: dict[str, str] = {}
+        for node, depth in self.nodes:
+            local = []
+            for table in node.tables:
+                alias = table.effective_alias.lower()
+                name = table.name.lower()
+                local.append((alias, name))
+                self.owner_node[alias] = node
+                self.depth_of[alias] = depth
+                self.table_of[alias] = name
+            self.tables[id(node)] = tuple(local)
+        # Second pass on purpose: descriptors resolve owner aliases, which
+        # must all be registered first (correlated predicates may reference
+        # an alias owned by an outer node).
+        descriptor = self._descriptor
+        for node, _depth in self.nodes:
+            self.preds[id(node)] = tuple(
+                descriptor(predicate, node) for predicate in node.predicates
+            )
+
+    def _descriptor(self, predicate: Comparison, node: LogicTreeNode) -> tuple:
+        """Pre-resolved rendering/attribution data for one predicate.
+
+        * ``("j", lcol, op, l_explicit, l_owner, rcol, flop, r_explicit,
+          r_owner)`` for joins — ``*_explicit`` is the spelled qualifier
+          (reprs use it, ``?`` when absent), ``*_owner`` the owner-resolved
+          alias the refinement attributes the join to;
+        * ``("s", col, op, literal, explicit, owner)`` for selections with
+          a column side (literal already rendered);
+        * ``("p", text)`` for anything else (rendered verbatim).
+        """
+        left = predicate.left
+        right = predicate.right
+        left_is_col = type(left) is ColumnRef
+        right_is_col = type(right) is ColumnRef
+        if left_is_col and right_is_col:
+            return (
+                "j",
+                left.column.lower(),
+                predicate.op,
+                left.table.lower() if left.table else None,
+                self._owner(left, node),
+                right.column.lower(),
+                FLIPPED_OP[predicate.op],
+                right.table.lower() if right.table else None,
+                self._owner(right, node),
+            )
+        if right_is_col:
+            # literal op column — normalize orientation without building a
+            # flipped Comparison node (construction validates + allocates).
+            column, op, literal = right, FLIPPED_OP[predicate.op], left
+        elif left_is_col:
+            column, op, literal = left, predicate.op, right
+        else:
+            return ("p", f"{left} {predicate.op} {right}")
+        return (
+            "s",
+            column.column.lower(),
+            op,
+            str(literal),
+            column.table.lower() if column.table else None,
+            self._owner(column, node),
+        )
+
+    def _owner(self, column: ColumnRef, node: LogicTreeNode) -> str | None:
+        """The alias a column belongs to; local single-table fallback."""
+        if column.table is not None:
+            alias = column.table.lower()
+            return alias if alias in self.owner_node else None
+        local = self.tables[id(node)]
+        if len(local) == 1:
+            return local[0][0]
+        return None
+
+
+def _pred_reprs(descriptors: tuple[tuple, ...], qualifiers: dict) -> list[str]:
+    """Orientation-normalized predicate renderings under ``qualifiers``.
+
+    ``qualifiers`` maps aliases to whatever stands in for them (refinement
+    ranks while ordering, canonical ``tN`` names while serializing); spelled
+    qualifiers that resolve to nothing render as ``?`` — matching the
+    historic behavior of qualifying by the *explicit* prefix only.
+    """
+    out = []
+    get = qualifiers.get
+    for d in descriptors:
+        kind = d[0]
+        if kind == "j":
+            _, lcol, op, lex, _lo, rcol, flop, rex, _ro = d
+            lq = get(lex, "?") if lex else "?"
+            rq = get(rex, "?") if rex else "?"
+            forward = f"{lq}.{lcol} {op} {rq}.{rcol}"
+            backward = f"{rq}.{rcol} {flop} {lq}.{lcol}"
+            out.append(forward if forward <= backward else backward)
+        elif kind == "s":
+            _, col, op, literal, explicit, _owner = d
+            prefix = get(explicit, "?") if explicit else "?"
+            out.append(f"{prefix}.{col} {op} {literal}")
+        else:
+            out.append(d[1])
+    return out
 
 
 # ---------------------------------------------------------------------- #
-# alias signatures (refinement)
+# alias ranks (colour refinement with rank compression)
 # ---------------------------------------------------------------------- #
 
 
-def _alias_signatures(tree: LogicTree) -> dict[str, str]:
-    """Structural signature per alias, refined over join neighbourhoods."""
-    owner: dict[str, LogicTreeNode] = {}
-    depth_of: dict[str, int] = {}
-    table_of: dict[str, str] = {}
-    for node, depth in tree.iter_with_depth():
-        for table in node.tables:
-            alias = table.effective_alias.lower()
-            owner[alias] = node
-            depth_of[alias] = depth
-            table_of[alias] = table.name.lower()
+def _compress(features: dict[str, object]) -> tuple[dict[str, int], int]:
+    """Replace feature values by dense ranks in sorted-feature order.
 
+    Feature tuples within one round share a shape, so sorting them is
+    well-defined; the resulting ranks depend only on tree content, which
+    keeps the canonicalization deterministic across processes.
+    """
+    distinct = sorted(set(features.values()))  # type: ignore[type-var]
+    rank_of = {feature: rank for rank, feature in enumerate(distinct)}
+    return {alias: rank_of[feature] for alias, feature in features.items()}, len(
+        distinct
+    )
+
+
+def _alias_ranks(tree: LogicTree, index: _TreeIndex) -> dict[str, int]:
+    """Structural rank per alias, refined over join neighbourhoods."""
+    owner = index.owner_node
+    if len(owner) == 1:
+        # One alias: nothing to discriminate, no features needed.
+        return {next(iter(owner)): 0}
+    # Fast path: when (table, depth, quantifier) alone discriminates every
+    # alias, the finer features (selections, outputs, join neighbourhoods)
+    # provably cannot change the ranking — tuples that differ in a prefix
+    # compare by that prefix no matter what is appended, and refinement
+    # starts (and immediately stops) fully discriminated either way.  Most
+    # queries take this exit: tied prefixes need a self-join or a symmetric
+    # twin table at the same depth.
+    prefix: dict[str, object] = {
+        alias: (
+            index.table_of[alias],
+            index.depth_of[alias],
+            _QUANT_FEATURE[owner[alias].quantifier],
+        )
+        for alias in owner
+    }
+    ranks, classes = _compress(prefix)
+    if classes == len(owner):
+        return ranks
     selections: dict[str, list[str]] = {alias: [] for alias in owner}
     joins: dict[str, list[tuple[str, str, str, str]]] = {alias: [] for alias in owner}
-    for node, _depth in tree.iter_with_depth():
-        for predicate in node.predicates:
-            if predicate.is_join:
-                left: ColumnRef = predicate.left  # type: ignore[assignment]
-                right: ColumnRef = predicate.right  # type: ignore[assignment]
-                left_alias = _owning_alias(left, node, owner)
-                right_alias = _owning_alias(right, node, owner)
-                if left_alias is not None and right_alias is not None:
-                    joins[left_alias].append(
-                        (left.column.lower(), predicate.op, right_alias, right.column.lower())
-                    )
-                    joins[right_alias].append(
-                        (
-                            right.column.lower(),
-                            FLIPPED_OP[predicate.op],
-                            left_alias,
-                            left.column.lower(),
-                        )
-                    )
-            elif predicate.is_selection:
-                normalized = predicate.normalized_selection()
-                if isinstance(normalized.left, ColumnRef):
-                    alias = _owning_alias(normalized.left, node, owner)
-                    if alias is not None:
-                        selections[alias].append(
-                            f"{normalized.left.column.lower()}"
-                            f"{normalized.op}{normalized.right}"
-                        )
+    for node, _depth in index.nodes:
+        for descriptor in index.preds[id(node)]:
+            kind = descriptor[0]
+            if kind == "j":
+                _, lcol, op, _lex, lo, rcol, flop, _rex, ro = descriptor
+                if lo is not None and ro is not None:
+                    joins[lo].append((lcol, op, ro, rcol))
+                    joins[ro].append((rcol, flop, lo, lcol))
+            elif kind == "s":
+                _, col, op, literal, _explicit, owning = descriptor
+                if owning is not None:
+                    selections[owning].append(f"{col}{op}{literal}")
 
     # SELECT / GROUP BY references are distinguishing features too: without
     # them, the selected table and a structurally symmetric twin would tie
@@ -163,147 +346,155 @@ def _alias_signatures(tree: LogicTree) -> dict[str, str]:
     for item in tree.select_items:
         column = item if isinstance(item, ColumnRef) else getattr(item, "argument", None)
         if isinstance(column, ColumnRef):
-            alias = _owning_alias(column, root, owner)
+            alias = index._owner(column, root)
             if alias is not None:
                 outputs[alias].append(f"sel:{column.column.lower()}")
     for column in tree.group_by:
-        alias = _owning_alias(column, root, owner)
+        alias = index._owner(column, root)
         if alias is not None:
             outputs[alias].append(f"grp:{column.column.lower()}")
 
-    signatures = {
-        alias: _digest(
-            table_of[alias],
-            str(depth_of[alias]),
-            str(owner[alias].quantifier),
-            *sorted(selections[alias]),
-            *sorted(outputs[alias]),
+    initial: dict[str, object] = {
+        alias: (
+            index.table_of[alias],
+            index.depth_of[alias],
+            _QUANT_FEATURE[owner[alias].quantifier],
+            tuple(sorted(selections[alias])),
+            tuple(sorted(outputs[alias])),
         )
         for alias in owner
     }
+    ranks, classes = _compress(initial)
     # One round per alias guarantees a distinguishing feature propagates
-    # across the whole join graph (Weisfeiler-Leman converges in <= n).
+    # across the whole join graph (Weisfeiler-Leman converges in <= n);
+    # refinement is monotone, so it stops as soon as every alias sits in
+    # its own class (fully discriminated — the common case, checked before
+    # the first join round even runs) or a round fails to split any class.
     for _round in range(max(_REFINEMENT_ROUNDS, len(owner))):
-        signatures = {
-            alias: _digest(
-                signatures[alias],
-                *sorted(
-                    f"{col}{op}{signatures[other]}.{other_col}"
-                    for col, op, other, other_col in joins[alias]
+        if classes == len(owner):
+            break
+        refined: dict[str, object] = {
+            alias: (
+                ranks[alias],
+                tuple(
+                    sorted(
+                        (col, op, ranks[other], other_col)
+                        for col, op, other, other_col in joins[alias]
+                    )
                 ),
             )
-            for alias in signatures
+            for alias in ranks
         }
-    return signatures
-
-
-def _owning_alias(
-    column: ColumnRef, node: LogicTreeNode, owner: dict[str, LogicTreeNode]
-) -> str | None:
-    """The alias a column belongs to; local single-table fallback if bare."""
-    if column.table is not None:
-        alias = column.table.lower()
-        return alias if alias in owner else None
-    if len(node.tables) == 1:
-        return node.tables[0].effective_alias.lower()
-    return None
+        ranks, new_classes = _compress(refined)
+        if new_classes == classes:
+            break
+        classes = new_classes
+    return ranks
 
 
 # ---------------------------------------------------------------------- #
-# canonical naming and serialization
+# canonical ordering, naming and serialization
 # ---------------------------------------------------------------------- #
 
 
-def _canonical_names(tree: LogicTree, signatures: dict[str, str]) -> dict[str, str]:
-    """Assign t1, t2, … in canonical traversal order."""
-    names: dict[str, str] = {}
+def _ordered_children_map(
+    tree: LogicTree, index: _TreeIndex, ranks: dict[str, int]
+) -> dict[int, tuple[LogicTreeNode, ...]]:
+    """Memoized canonical child order per node (keyed by ``id(node)``).
 
-    def visit(node: LogicTreeNode) -> None:
-        ordered = sorted(
-            enumerate(node.tables),
-            key=lambda pair: (signatures[pair[1].effective_alias.lower()], pair[0]),
+    Subtree keys are computed bottom-up in one pass, so ordering the whole
+    tree is O(nodes·log) instead of the O(nodes²) of re-deriving every
+    subtree's key at every ancestor — and when no node has more than one
+    child (queries are overwhelmingly chains) the keying pass is skipped
+    outright, since sibling order is the only thing the keys decide.
+    """
+    if not _needs_child_ordering(index):
+        return {id(node): node.children for node, _depth in index.nodes}
+    subtree_key: dict[int, tuple] = {}
+    order: dict[int, tuple[LogicTreeNode, ...]] = {}
+    # index.nodes is pre-order (parents first), so the reverse visits every
+    # child before its parent — no extra tree walk needed.
+    for node, _depth in reversed(index.nodes):
+        children = node.children
+        if len(children) > 1:
+            keyed = sorted(
+                enumerate(children),
+                key=lambda pair: (subtree_key[id(pair[1])], pair[0]),
+            )
+            order[id(node)] = tuple(child for _index, child in keyed)
+            child_keys = tuple(sorted(subtree_key[id(child)] for child in children))
+        else:
+            order[id(node)] = children
+            child_keys = tuple(subtree_key[id(child)] for child in children)
+        subtree_key[id(node)] = (
+            _QUANT_FEATURE[node.quantifier],
+            tuple(sorted(ranks[alias] for alias, _name in index.tables[id(node)])),
+            tuple(sorted(_pred_reprs(index.preds[id(node)], ranks))),
+            child_keys,
         )
-        for _index, table in ordered:
-            alias = table.effective_alias.lower()
-            names[alias] = f"t{len(names) + 1}"
-        for child in _ordered_children(node, signatures):
-            visit(child)
+    return order
 
-    visit(tree.root)
+
+def _canonical_names(
+    tree: LogicTree,
+    index: _TreeIndex,
+    ranks: dict[str, int],
+    order: dict[int, tuple[LogicTreeNode, ...]],
+) -> dict[str, str]:
+    """Assign t1, t2, … in canonical (pre-order, ordered-children) traversal."""
+    names: dict[str, str] = {}
+    stack: list[LogicTreeNode] = [tree.root]
+    while stack:
+        node = stack.pop()
+        local = index.tables[id(node)]
+        if len(local) == 1:
+            names[local[0][0]] = f"t{len(names) + 1}"
+        else:
+            for _rank, _position, alias in sorted(
+                (ranks[alias], position, alias)
+                for position, (alias, _name) in enumerate(local)
+            ):
+                names[alias] = f"t{len(names) + 1}"
+        children = order[id(node)]
+        if children:
+            stack.extend(reversed(children))
     return names
 
 
-def _ordered_children(
-    node: LogicTreeNode, signatures: dict[str, str]
-) -> list[LogicTreeNode]:
-    keyed = sorted(
-        enumerate(node.children),
-        key=lambda pair: (_subtree_key(pair[1], signatures), pair[0]),
-    )
-    return [child for _index, child in keyed]
-
-
-def _subtree_key(node: LogicTreeNode, signatures: dict[str, str]) -> str:
-    """Alias-independent structural key of a subtree, for sibling ordering."""
-    tables = sorted(signatures[t.effective_alias.lower()] for t in node.tables)
-    predicates = sorted(
-        _predicate_repr(p, signatures, qualify=_signature_qualifier(signatures))
-        for p in node.predicates
-    )
-    children = sorted(_subtree_key(child, signatures) for child in node.children)
-    return _digest(str(node.quantifier), *tables, *predicates, *children)
-
-
-def _serialize_node(
-    node: LogicTreeNode, names: dict[str, str], signatures: dict[str, str]
+def _serialize(
+    root: LogicTreeNode,
+    index: _TreeIndex,
+    names: dict[str, str],
+    order: dict[int, tuple[LogicTreeNode, ...]],
 ) -> str:
-    tables = sorted(
-        f"{names[t.effective_alias.lower()]}={t.name.lower()}" for t in node.tables
-    )
-    predicates = sorted(
-        _predicate_repr(p, signatures, qualify=_name_qualifier(names))
-        for p in node.predicates
-    )
-    children = [
-        _serialize_node(child, names, signatures)
-        for child in _ordered_children(node, signatures)
-    ]
-    quantifier = str(node.quantifier) if node.quantifier else "root"
-    return (
-        f"({quantifier} tables[{','.join(tables)}] "
-        f"preds[{';'.join(predicates)}] children[{' '.join(children)}])"
-    )
-
-
-def _name_qualifier(names: dict[str, str]):
-    def qualify(column: ColumnRef) -> str:
-        alias = column.table.lower() if column.table else None
-        prefix = names.get(alias, "?") if alias else "?"
-        return f"{prefix}.{column.column.lower()}"
-
-    return qualify
-
-
-def _signature_qualifier(signatures: dict[str, str]):
-    def qualify(column: ColumnRef) -> str:
-        alias = column.table.lower() if column.table else None
-        prefix = signatures.get(alias, "?") if alias else "?"
-        return f"{prefix}.{column.column.lower()}"
-
-    return qualify
-
-
-def _predicate_repr(predicate: Comparison, signatures: dict[str, str], qualify) -> str:
-    """Orientation-normalized rendering of one comparison predicate."""
-    if predicate.is_join:
-        forward = f"{qualify(predicate.left)} {predicate.op} {qualify(predicate.right)}"
-        flipped = predicate.flipped()
-        backward = f"{qualify(flipped.left)} {flipped.op} {qualify(flipped.right)}"
-        return min(forward, backward)
-    normalized = predicate.normalized_selection()
-    if isinstance(normalized.left, ColumnRef):
-        return f"{qualify(normalized.left)} {normalized.op} {normalized.right}"
-    return f"{normalized.left} {normalized.op} {normalized.right}"
+    """Serialize the tree bottom-up (children before parents)."""
+    rendered: dict[int, str] = {}
+    for node, _depth in reversed(index.nodes):
+        node_id = id(node)
+        local = index.tables[node_id]
+        if len(local) == 1:
+            alias, name = local[0]
+            tables_text = f"{names[alias]}={name}"
+        else:
+            tables_text = ",".join(
+                sorted(f"{names[alias]}={name}" for alias, name in local)
+            )
+        descriptors = index.preds[node_id]
+        preds_text = (
+            ";".join(sorted(_pred_reprs(descriptors, names))) if descriptors else ""
+        )
+        child_nodes = order[node_id]
+        children_text = (
+            " ".join(rendered[id(child)] for child in child_nodes)
+            if child_nodes
+            else ""
+        )
+        quantifier = _QUANT_LABEL[node.quantifier]
+        rendered[node_id] = (
+            f"({quantifier} tables[{tables_text}] "
+            f"preds[{preds_text}] children[{children_text}])"
+        )
+    return rendered[id(root)]
 
 
 def _operand_repr(item, names: dict[str, str]) -> str:
@@ -320,13 +511,3 @@ def _column_repr(column: ColumnRef, names: dict[str, str]) -> str:
     alias = column.table.lower() if column.table else None
     prefix = names.get(alias, "?") if alias else "?"
     return f"{prefix}.{column.column.lower()}"
-
-
-def _digest(*parts: str) -> str:
-    # Internal refinement signatures only need process-independent
-    # determinism, not cryptographic strength; blake2b is the fastest
-    # stable hash in the stdlib.  The reported fingerprint itself stays
-    # SHA-256 over the canonical form.
-    return hashlib.blake2b(
-        "\x1f".join(parts).encode("utf-8"), digest_size=8
-    ).hexdigest()

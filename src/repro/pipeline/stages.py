@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable
 
+from .diskcache import DiskCache, stable_key_digest
+
 #: Stage names, in pipeline order (render appears once per output format).
 STAGE_NAMES: tuple[str, ...] = (
     "artifact",
@@ -42,10 +44,16 @@ STAGE_NAMES: tuple[str, ...] = (
 
 @dataclass
 class StageCounter:
-    """Hit/miss counters of one stage cache."""
+    """Hit/miss counters of one stage cache.
+
+    ``disk_hits`` counts the subset of ``hits`` that were served from the
+    persistent second-level store (:mod:`repro.pipeline.diskcache`) rather
+    than from this process's memory.
+    """
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -90,13 +98,33 @@ class PipelineStats:
         parts.append(f"overall hit rate {self.hit_rate:.0%}")
         return ", ".join(parts)
 
+    @property
+    def total_disk_hits(self) -> int:
+        return sum(counter.disk_hits for counter in self.counters.values())
+
+    def merge(self, other: "PipelineStats") -> None:
+        """Fold ``other``'s counters into this one (parallel-worker merge)."""
+        self.queries += other.queries
+        for name, counter in other.counters.items():
+            mine = self.counters.setdefault(name, StageCounter())
+            mine.hits += counter.hits
+            mine.misses += counter.misses
+            mine.disk_hits += counter.disk_hits
+
     def as_dict(self) -> dict[str, Any]:
         """JSON-friendly summary (used by ``repro bench-diagram --json``)."""
         return {
             "queries": self.queries,
             "hit_rate": round(self.hit_rate, 4),
             "stages": {
-                name: {"hits": counter.hits, "misses": counter.misses}
+                name: (
+                    {"hits": counter.hits, "misses": counter.misses}
+                    | (
+                        {"disk_hits": counter.disk_hits}
+                        if counter.disk_hits
+                        else {}
+                    )
+                )
                 for name, counter in self.counters.items()
                 if counter.lookups
             },
@@ -109,11 +137,29 @@ class StageCache:
     ``enabled=False`` turns every lookup into a miss without storing the
     result — that is how the benchmarks measure a truly cold pipeline while
     exercising identical code paths.
+
+    ``disk`` plugs a persistent second level behind the in-memory dicts
+    (see :mod:`repro.pipeline.diskcache`): memory miss → disk probe →
+    compute + write-through.  ``disk_namespace`` isolates entries of
+    compilers with different fixed configuration (schema, simplify flag,
+    layout geometry) sharing one store.  A disabled cache never touches
+    disk — cold means cold.
     """
 
-    def __init__(self, stats: PipelineStats, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        stats: PipelineStats,
+        enabled: bool = True,
+        disk: "DiskCache | None" = None,
+        disk_namespace: str = "",
+    ) -> None:
         self._stats = stats
+        # Direct reference: get_or_compute runs several times per query and
+        # should not pay a method call + attribute hop to find its counter.
+        self._counters = stats.counters
         self._enabled = enabled
+        self._disk = disk
+        self._namespace = disk_namespace
         self._caches: dict[str, dict[Hashable, Any]] = {
             name: {} for name in STAGE_NAMES
         }
@@ -122,19 +168,42 @@ class StageCache:
     def enabled(self) -> bool:
         return self._enabled
 
+    @property
+    def disk(self) -> "DiskCache | None":
+        return self._disk
+
     def get_or_compute(
-        self, stage: str, key: Hashable, compute: Callable[[], Any]
+        self, stage: str, key: Hashable, compute: Callable[..., Any], *args: Any
     ) -> Any:
-        counter = self._stats.counter(stage)
+        """The cached value for ``key``, else ``compute(*args)`` (stored).
+
+        ``args`` are forwarded to ``compute`` so hot callers can pass plain
+        functions instead of allocating a closure per stage per query.
+        """
+        counter = self._counters[stage]
         if not self._enabled:
             counter.misses += 1
-            return compute()
+            return compute(*args)
         cache = self._caches[stage]
         if key in cache:
             counter.hits += 1
             return cache[key]
+        disk = self._disk
+        if disk is not None and disk.persists(stage):
+            digest = stable_key_digest(self._namespace, stage, key)
+            found, value = disk.get(digest, stage)
+            if found:
+                counter.hits += 1
+                counter.disk_hits += 1
+                cache[key] = value
+                return value
+            counter.misses += 1
+            value = compute(*args)
+            cache[key] = value
+            disk.put(digest, stage, value)
+            return value
         counter.misses += 1
-        value = compute()
+        value = compute(*args)
         cache[key] = value
         return value
 

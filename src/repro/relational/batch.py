@@ -16,17 +16,33 @@ whole run:
 The database is treated as read-only for the duration of a batch; interleave
 inserts only between batches (the scan cache keys on row counts, so plain
 inserts invalidate naturally, but in-place row mutation would not).
+
+``disk_cache=`` additionally persists query *results* to a
+:class:`~repro.pipeline.diskcache.DiskCache` store, keyed on the query, the
+schema and the database's row-count version — so a fresh process replaying
+yesterday's workload against unchanged data serves results straight from
+disk.  The same trust rules as the diagram pipeline apply: corrupt,
+version-mismatched or foreign entries are evicted and recomputed, and any
+growth of the database invalidates every persisted result naturally (the
+version participates in the key).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pipeline.diskcache import DiskCache
 
 from ..sql.ast import SelectQuery
 from ..sql.parser import parse
 from .database import Database
 from .executor import ExecutionContext, ExecutionMode, Executor, ResultSet
+
+#: Stage label under which query results live in a shared disk store.
+_RESULT_STAGE = "exec-result"
 
 
 @dataclass(frozen=True)
@@ -40,15 +56,19 @@ class BatchStats:
     subquery_misses: int
     scan_hits: int
     scan_misses: int
+    result_disk_hits: int = 0
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.queries} queries: "
             f"plans {self.plan_hits}/{self.plan_hits + self.plan_misses} cached, "
             f"subqueries {self.subquery_hits}/"
             f"{self.subquery_hits + self.subquery_misses} cached, "
             f"scans {self.scan_hits}/{self.scan_hits + self.scan_misses} cached"
         )
+        if self.result_disk_hits:
+            text += f", {self.result_disk_hits} results from disk"
+        return text
 
 
 class BatchExecutor:
@@ -68,12 +88,26 @@ class BatchExecutor:
         self,
         database: Database,
         mode: ExecutionMode = ExecutionMode.PLANNED,
+        disk_cache: DiskCache | str | Path | None = None,
     ) -> None:
         self._db = database
         self._mode = mode
         self._context = ExecutionContext(database)
         self._executor = Executor(database, mode=mode, context=self._context)
         self._queries_run = 0
+        if disk_cache is not None and not hasattr(disk_cache, "get"):
+            # Imported lazily: repro.logic pulls in this package at import
+            # time, and repro.pipeline sits on top of repro.logic — a
+            # module-level import would be circular.
+            from ..pipeline.diskcache import DiskCache
+
+            disk_cache = DiskCache(Path(disk_cache))
+        self._disk_cache = disk_cache
+        # Results are only trustworthy for exactly this schema; the
+        # row-count version participates per lookup (it changes mid-batch
+        # when callers insert between runs).
+        self._disk_namespace = f"exec|{database.schema!r}"
+        self._result_disk_hits = 0
 
     @property
     def database(self) -> Database:
@@ -87,12 +121,32 @@ class BatchExecutor:
     def context(self) -> ExecutionContext:
         return self._context
 
+    @property
+    def disk_cache(self) -> DiskCache | None:
+        return self._disk_cache
+
     def execute(self, query: SelectQuery | str) -> ResultSet:
         """Execute one query (SQL text or AST) through the shared context."""
         if isinstance(query, str):
             query = parse(query)
         self._queries_run += 1
-        return self._executor.execute(query)
+        disk = self._disk_cache
+        if disk is None or self._mode is not ExecutionMode.PLANNED:
+            return self._executor.execute(query)
+        from ..pipeline.diskcache import stable_key_digest
+
+        digest = stable_key_digest(
+            self._disk_namespace,
+            _RESULT_STAGE,
+            (query, self._db.total_rows()),
+        )
+        found, cached = disk.get(digest, _RESULT_STAGE)
+        if found and isinstance(cached, ResultSet):
+            self._result_disk_hits += 1
+            return cached
+        result = self._executor.execute(query)
+        disk.put(digest, _RESULT_STAGE, result)
+        return result
 
     def run(self, queries: Iterable[SelectQuery | str]) -> list[ResultSet]:
         """Execute a whole workload, returning one result set per query."""
@@ -122,6 +176,7 @@ class BatchExecutor:
             subquery_misses=counters.subquery_misses,
             scan_hits=counters.scan_hits,
             scan_misses=counters.scan_misses,
+            result_disk_hits=self._result_disk_hits,
         )
 
 

@@ -9,12 +9,51 @@ The node vocabulary mirrors the grammar of Fig. 4 in the paper:
   (``[NOT] EXISTS``, ``[NOT] IN``, ``op ANY/ALL``);
 * all nodes are frozen dataclasses so they can be hashed, compared and used
   as dictionary keys by later pipeline stages.
+
+The nodes are the pipeline's hottest data: every stage cache keys on frozen
+ASTs or trees built from them, so each node is declared with ``slots=True``
+(no per-instance ``__dict__``) and caches its hash on first use
+(:class:`FrozenNode`) instead of re-hashing its field tuple on every cache
+probe.  Hash caching composes: a parent's hash consumes the already-cached
+hashes of its children, so hashing a deep tree is O(nodes) once, O(1) after.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterator, Union
+
+
+class FrozenNode:
+    """Shared behavior for frozen ``slots=True`` dataclass nodes.
+
+    Frozen slotted dataclasses cannot be pickled on Python 3.10 (the default
+    slot-state protocol assigns through the frozen ``__setattr__``), so nodes
+    reduce to ``cls(*field values)`` — which also recomputes the cached hash
+    on load instead of trusting serialized state.
+    """
+
+    __slots__ = ()
+
+    def __reduce__(self):
+        cls = type(self)
+        return (cls, tuple(getattr(self, name) for name in cls.__match_args__))
+
+    def __hash__(self) -> int:
+        h = self._hash  # type: ignore[attr-defined]
+        if h is None:
+            h = hash(tuple(getattr(self, name) for name in type(self).__match_args__))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+
+#: The cached-hash slot shared by every node class below.  ``init=False``
+#: keeps it out of ``__init__``/``__match_args__``; ``compare=False`` keeps
+#: generated equality purely field-based.  The cache fills lazily: nodes
+#: are built in bulk by the parser, but only ones used as cache keys are
+#: ever hashed.
+def _hash_field():
+    return field(default=None, init=False, repr=False, compare=False)
 
 #: Comparison operators of the fragment, canonical spelling.
 COMPARISON_OPS = ("<", "<=", "=", "<>", ">=", ">")
@@ -26,31 +65,44 @@ FLIPPED_OP = {"<": ">", "<=": ">=", "=": "=", "<>": "<>", ">=": "<=", ">": "<"}
 #: Logical negation of an operator (used when pushing NOT through ANY/ALL).
 NEGATED_OP = {"<": ">=", "<=": ">", "=": "<>", "<>": "=", ">=": "<", ">": "<="}
 
+#: Set view of COMPARISON_OPS for O(1) validation on the Comparison hot path.
+_COMPARISON_OP_SET = frozenset(COMPARISON_OPS)
 
-@dataclass(frozen=True)
-class Star:
+
+@dataclass(frozen=True, slots=True)
+class Star(FrozenNode):
     """``SELECT *`` or ``COUNT(*)`` argument."""
+
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
+
 
     def __str__(self) -> str:
         return "*"
 
 
-@dataclass(frozen=True)
-class ColumnRef:
+@dataclass(frozen=True, slots=True)
+class ColumnRef(FrozenNode):
     """A (possibly qualified) column reference such as ``L1.drinker``."""
 
     table: str | None
     column: str
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
+
 
     def __str__(self) -> str:
         return f"{self.table}.{self.column}" if self.table else self.column
 
 
-@dataclass(frozen=True)
-class Literal:
+@dataclass(frozen=True, slots=True)
+class Literal(FrozenNode):
     """A constant: string or number."""
 
     value: Union[int, float, str]
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
+
 
     @property
     def is_string(self) -> bool:
@@ -63,12 +115,15 @@ class Literal:
         return str(self.value)
 
 
-@dataclass(frozen=True)
-class AggregateCall:
+@dataclass(frozen=True, slots=True)
+class AggregateCall(FrozenNode):
     """An aggregate select item such as ``COUNT(T.TrackId)`` or ``SUM(x)``."""
 
     func: str
     argument: Union[ColumnRef, Star]
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
+
 
     def __str__(self) -> str:
         return f"{self.func}({self.argument})"
@@ -78,12 +133,15 @@ SelectItem = Union[ColumnRef, AggregateCall, Star]
 Operand = Union[ColumnRef, Literal]
 
 
-@dataclass(frozen=True)
-class TableRef:
+@dataclass(frozen=True, slots=True)
+class TableRef(FrozenNode):
     """A table in the FROM clause, optionally aliased (``Likes L1``)."""
 
     name: str
     alias: str | None = None
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
+
 
     @property
     def effective_alias(self) -> str:
@@ -94,8 +152,8 @@ class TableRef:
         return f"{self.name} {self.alias}" if self.alias else self.name
 
 
-@dataclass(frozen=True)
-class Comparison:
+@dataclass(frozen=True, slots=True)
+class Comparison(FrozenNode):
     """A join or selection predicate ``left op right``.
 
     A predicate is a *selection* predicate when exactly one side is a
@@ -106,9 +164,11 @@ class Comparison:
     left: Operand
     op: str
     right: Operand
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
 
     def __post_init__(self) -> None:
-        if self.op not in COMPARISON_OPS:
+        if self.op not in _COMPARISON_OP_SET:
             raise ValueError(f"unsupported comparison operator: {self.op!r}")
 
     @property
@@ -133,33 +193,39 @@ class Comparison:
         return f"{self.left} {self.op} {self.right}"
 
 
-@dataclass(frozen=True)
-class Exists:
+@dataclass(frozen=True, slots=True)
+class Exists(FrozenNode):
     """``[NOT] EXISTS (subquery)``."""
 
     query: "SelectQuery"
     negated: bool = False
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
+
 
     def __str__(self) -> str:
         prefix = "NOT EXISTS" if self.negated else "EXISTS"
         return f"{prefix} (...)"
 
 
-@dataclass(frozen=True)
-class InSubquery:
+@dataclass(frozen=True, slots=True)
+class InSubquery(FrozenNode):
     """``column [NOT] IN (subquery)``."""
 
     column: ColumnRef
     query: "SelectQuery"
     negated: bool = False
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
+
 
     def __str__(self) -> str:
         op = "NOT IN" if self.negated else "IN"
         return f"{self.column} {op} (...)"
 
 
-@dataclass(frozen=True)
-class QuantifiedComparison:
+@dataclass(frozen=True, slots=True)
+class QuantifiedComparison(FrozenNode):
     """``column op ANY (subquery)`` or ``column op ALL (subquery)``.
 
     ``negated`` captures the ``NOT column = ANY (...)`` spelling used in
@@ -171,9 +237,11 @@ class QuantifiedComparison:
     quantifier: str  # "ANY" | "ALL"
     query: "SelectQuery"
     negated: bool = False
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
 
     def __post_init__(self) -> None:
-        if self.op not in COMPARISON_OPS:
+        if self.op not in _COMPARISON_OP_SET:
             raise ValueError(f"unsupported comparison operator: {self.op!r}")
         if self.quantifier not in ("ANY", "ALL"):
             raise ValueError(f"quantifier must be ANY or ALL, got {self.quantifier!r}")
@@ -186,14 +254,17 @@ class QuantifiedComparison:
 Predicate = Union[Comparison, Exists, InSubquery, QuantifiedComparison]
 
 
-@dataclass(frozen=True)
-class SelectQuery:
+@dataclass(frozen=True, slots=True)
+class SelectQuery(FrozenNode):
     """A query block: SELECT list, FROM list and conjunctive WHERE clause."""
 
     select_items: tuple[SelectItem, ...]
     from_tables: tuple[TableRef, ...]
     where: tuple[Predicate, ...] = ()
     group_by: tuple[ColumnRef, ...] = field(default=())
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
+
 
     # ------------------------------------------------------------------ #
     # structural helpers used throughout the pipeline
@@ -224,17 +295,31 @@ class SelectQuery:
         ]
 
     def iter_blocks(self) -> Iterator["SelectQuery"]:
-        """Yield this block and all nested blocks in pre-order."""
-        yield self
-        for predicate in self.subquery_predicates():
-            yield from predicate.query.iter_blocks()
+        """Yield this block and all nested blocks in pre-order.
+
+        Stack-based rather than recursive: nested generators pay one frame
+        per nesting level per item, and corpus-scale callers iterate blocks
+        constantly.
+        """
+        stack: list[SelectQuery] = [self]
+        pop = stack.pop
+        while stack:
+            block = pop()
+            yield block
+            sub = block.subquery_predicates()
+            if sub:
+                stack.extend(p.query for p in reversed(sub))
 
     def nesting_depth(self) -> int:
         """Maximum nesting depth, with the root block at depth 0."""
-        sub = self.subquery_predicates()
-        if not sub:
-            return 0
-        return 1 + max(p.query.nesting_depth() for p in sub)
+        deepest = 0
+        stack: list[tuple[SelectQuery, int]] = [(self, 0)]
+        while stack:
+            block, depth = stack.pop()
+            if depth > deepest:
+                deepest = depth
+            stack.extend((p.query, depth + 1) for p in block.subquery_predicates())
+        return deepest
 
     def table_count(self) -> int:
         """Total number of table references across all blocks."""

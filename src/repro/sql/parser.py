@@ -15,6 +15,12 @@ Constructs outside the fragment (``OR``, explicit ``JOIN``, ``HAVING``,
 ``UNION``, ``ORDER BY``, ``DISTINCT``) raise :class:`UnsupportedSQLError`
 with a message naming the offending construct, so that callers can report a
 precise reason rather than a generic syntax error.
+
+The implementation is written for the cold path: it consumes the lexer's
+:class:`~repro.sql.lexer.TokenStream` parallel arrays directly (no token
+objects are materialized), tracks the current token type/value in plain
+attributes, and compares keywords against pre-upper-cased literals.  A
+``list[Token]`` is still accepted for compatibility and converted up front.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ from .ast import (
     TableRef,
 )
 from .errors import SQLSyntaxError, UnsupportedSQLError
-from .lexer import tokenize
+from .lexer import TokenStream, scan
 from .tokens import AGGREGATE_FUNCTIONS, Token, TokenType
 
 _UNSUPPORTED_KEYWORDS = {
@@ -47,13 +53,43 @@ _UNSUPPORTED_KEYWORDS = {
     "DISTINCT": "DISTINCT is not supported (set semantics are assumed)",
 }
 
+_KEYWORD = TokenType.KEYWORD
+_IDENTIFIER = TokenType.IDENTIFIER
+_NUMBER = TokenType.NUMBER
+_STRING = TokenType.STRING
+_OPERATOR = TokenType.OPERATOR
+_COMMA = TokenType.COMMA
+_DOT = TokenType.DOT
+_LPAREN = TokenType.LPAREN
+_RPAREN = TokenType.RPAREN
+_STAR = TokenType.STAR
+_SEMICOLON = TokenType.SEMICOLON
+_EOF = TokenType.EOF
+
 
 class Parser:
     """Parses a token stream into a :class:`SelectQuery` AST."""
 
-    def __init__(self, tokens: list[Token]) -> None:
-        self._tokens = tokens
+    def __init__(self, tokens: TokenStream | list[Token]) -> None:
+        if isinstance(tokens, TokenStream):
+            stream = tokens
+        else:
+            stream = TokenStream(
+                [token.type for token in tokens],
+                [token.value for token in tokens],
+                [token.position for token in tokens],
+                "",
+            )
+        self._types = stream.types
+        self._values = stream.values
+        self._positions = stream.positions
         self._index = 0
+        if self._types:
+            self._type = self._types[0]
+            self._value = self._values[0]
+        else:
+            self._type = _EOF
+            self._value = ""
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -62,12 +98,12 @@ class Parser:
     def parse_query(self) -> SelectQuery:
         """Parse a complete query and require that all input is consumed."""
         query = self._parse_select_query()
-        if self._current.type is TokenType.SEMICOLON:
+        if self._type is _SEMICOLON:
             self._advance()
-        if self._current.type is not TokenType.EOF:
+        if self._type is not _EOF:
             raise SQLSyntaxError(
-                f"unexpected trailing input {self._current.value!r}",
-                self._current.position,
+                f"unexpected trailing input {self._value!r}",
+                self._positions[self._index],
             )
         return query
 
@@ -75,56 +111,53 @@ class Parser:
     # token-stream helpers
     # ------------------------------------------------------------------ #
 
-    @property
-    def _current(self) -> Token:
-        return self._tokens[self._index]
+    def _advance(self) -> None:
+        if self._type is not _EOF:
+            index = self._index + 1
+            self._index = index
+            self._type = self._types[index]
+            self._value = self._values[index]
 
-    def _peek(self, offset: int = 1) -> Token:
-        index = min(self._index + offset, len(self._tokens) - 1)
-        return self._tokens[index]
-
-    def _advance(self) -> Token:
-        token = self._current
-        if token.type is not TokenType.EOF:
-            self._index += 1
-        return token
-
-    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
-        token = self._current
-        if token.type is not token_type or (value is not None and token.value != value):
+    def _expect(self, token_type: TokenType, value: str | None = None) -> str:
+        """Consume the current token and return its value."""
+        if self._type is not token_type or (value is not None and self._value != value):
             expected = value if value is not None else token_type.name
             raise SQLSyntaxError(
-                f"expected {expected}, found {token.value!r}", token.position
+                f"expected {expected}, found {self._value!r}",
+                self._positions[self._index],
             )
-        return self._advance()
+        consumed = self._value
+        self._advance()
+        return consumed
 
-    def _expect_keyword(self, word: str) -> Token:
-        return self._expect(TokenType.KEYWORD, word.upper())
-
-    def _check_unsupported(self, token: Token) -> None:
-        if token.type is TokenType.KEYWORD and token.value in _UNSUPPORTED_KEYWORDS:
-            raise UnsupportedSQLError(_UNSUPPORTED_KEYWORDS[token.value])
+    def _check_unsupported(self) -> None:
+        # Call sites guard on ``self._type is _KEYWORD`` so the common
+        # (non-keyword) token costs no method call at all.
+        if self._value in _UNSUPPORTED_KEYWORDS:
+            raise UnsupportedSQLError(_UNSUPPORTED_KEYWORDS[self._value])
 
     # ------------------------------------------------------------------ #
     # grammar rules
     # ------------------------------------------------------------------ #
 
     def _parse_select_query(self) -> SelectQuery:
-        self._expect_keyword("SELECT")
-        self._check_unsupported(self._current)
+        self._expect(_KEYWORD, "SELECT")
+        if self._type is _KEYWORD:
+            self._check_unsupported()
         select_items = self._parse_select_list()
-        self._expect_keyword("FROM")
+        self._expect(_KEYWORD, "FROM")
         from_tables = self._parse_from_list()
         where: tuple[Predicate, ...] = ()
-        if self._current.is_keyword("WHERE"):
+        if self._type is _KEYWORD and self._value == "WHERE":
             self._advance()
             where = tuple(self._parse_conjunction())
         group_by: tuple[ColumnRef, ...] = ()
-        if self._current.is_keyword("GROUP"):
+        if self._type is _KEYWORD and self._value == "GROUP":
             self._advance()
-            self._expect_keyword("BY")
+            self._expect(_KEYWORD, "BY")
             group_by = tuple(self._parse_group_by_list())
-        self._check_unsupported(self._current)
+        if self._type is _KEYWORD:
+            self._check_unsupported()
         return SelectQuery(
             select_items=tuple(select_items),
             from_tables=tuple(from_tables),
@@ -133,66 +166,92 @@ class Parser:
         )
 
     def _parse_select_list(self) -> list[SelectItem]:
-        if self._current.type is TokenType.STAR:
+        if self._type is _STAR:
             self._advance()
             return [Star()]
         items: list[SelectItem] = [self._parse_select_item()]
-        while self._current.type is TokenType.COMMA:
+        while self._type is _COMMA:
             self._advance()
             items.append(self._parse_select_item())
         return items
 
     def _parse_select_item(self) -> SelectItem:
-        token = self._current
         if (
-            token.type is TokenType.IDENTIFIER
-            and token.value.upper() in AGGREGATE_FUNCTIONS
-            and self._peek().type is TokenType.LPAREN
+            self._type is _IDENTIFIER
+            and self._value.upper() in AGGREGATE_FUNCTIONS
+            and self._types[self._index + 1] is _LPAREN
         ):
             return self._parse_aggregate_call()
         return self._parse_column_ref()
 
     def _parse_aggregate_call(self) -> AggregateCall:
-        func = self._advance().value.upper()
-        self._expect(TokenType.LPAREN)
+        func = self._value.upper()
+        self._advance()
+        self._expect(_LPAREN)
         argument: ColumnRef | Star
-        if self._current.type is TokenType.STAR:
+        if self._type is _STAR:
             self._advance()
             argument = Star()
         else:
             argument = self._parse_column_ref()
-        self._expect(TokenType.RPAREN)
+        self._expect(_RPAREN)
         return AggregateCall(func=func, argument=argument)
 
     def _parse_column_ref(self) -> ColumnRef:
-        first = self._expect(TokenType.IDENTIFIER)
-        if self._current.type is TokenType.DOT:
-            self._advance()
-            second = self._expect(TokenType.IDENTIFIER)
-            return ColumnRef(table=first.value, column=second.value)
-        return ColumnRef(table=None, column=first.value)
+        # Hand-rolled cursor stepping: this is the most-called grammar rule,
+        # and the generic _expect/_advance pair costs two method calls per
+        # consumed token.
+        if self._type is not _IDENTIFIER:
+            raise SQLSyntaxError(
+                f"expected IDENTIFIER, found {self._value!r}",
+                self._positions[self._index],
+            )
+        first = self._value
+        types = self._types
+        index = self._index + 1
+        if types[index] is _DOT:
+            if types[index + 1] is not _IDENTIFIER:
+                self._index = index + 1
+                self._type = types[index + 1]
+                self._value = self._values[index + 1]
+                raise SQLSyntaxError(
+                    f"expected IDENTIFIER, found {self._value!r}",
+                    self._positions[index + 1],
+                )
+            second = self._values[index + 1]
+            index += 2
+            self._index = index
+            self._type = types[index]
+            self._value = self._values[index]
+            return ColumnRef(table=first, column=second)
+        self._index = index
+        self._type = types[index]
+        self._value = self._values[index]
+        return ColumnRef(table=None, column=first)
 
     def _parse_from_list(self) -> list[TableRef]:
         tables = [self._parse_table_ref()]
-        while self._current.type is TokenType.COMMA:
+        while self._type is _COMMA:
             self._advance()
             tables.append(self._parse_table_ref())
         return tables
 
     def _parse_table_ref(self) -> TableRef:
-        self._check_unsupported(self._current)
-        name = self._expect(TokenType.IDENTIFIER).value
+        if self._type is _KEYWORD:
+            self._check_unsupported()
+        name = self._expect(_IDENTIFIER)
         alias: str | None = None
-        if self._current.is_keyword("AS"):
+        if self._type is _KEYWORD and self._value == "AS":
             self._advance()
-            alias = self._expect(TokenType.IDENTIFIER).value
-        elif self._current.type is TokenType.IDENTIFIER:
-            alias = self._advance().value
+            alias = self._expect(_IDENTIFIER)
+        elif self._type is _IDENTIFIER:
+            alias = self._value
+            self._advance()
         return TableRef(name=name, alias=alias)
 
     def _parse_group_by_list(self) -> list[ColumnRef]:
         columns = [self._parse_column_ref()]
-        while self._current.type is TokenType.COMMA:
+        while self._type is _COMMA:
             self._advance()
             columns.append(self._parse_column_ref())
         return columns
@@ -203,29 +262,28 @@ class Parser:
 
     def _parse_conjunction(self) -> list[Predicate]:
         predicates = [self._parse_predicate()]
-        while True:
-            token = self._current
-            self._check_unsupported(token)
-            if token.is_keyword("AND"):
+        while self._type is _KEYWORD:
+            self._check_unsupported()
+            if self._value == "AND":
                 self._advance()
                 predicates.append(self._parse_predicate())
             else:
-                return predicates
+                break
+        return predicates
 
     def _parse_predicate(self) -> Predicate:
-        token = self._current
-        self._check_unsupported(token)
-        if token.is_keyword("NOT"):
-            return self._parse_negated_predicate()
-        if token.is_keyword("EXISTS"):
-            self._advance()
-            return Exists(query=self._parse_parenthesized_query(), negated=False)
+        if self._type is _KEYWORD:
+            self._check_unsupported()
+            if self._value == "NOT":
+                return self._parse_negated_predicate()
+            if self._value == "EXISTS":
+                self._advance()
+                return Exists(query=self._parse_parenthesized_query(), negated=False)
         return self._parse_comparison_like()
 
     def _parse_negated_predicate(self) -> Predicate:
-        self._expect_keyword("NOT")
-        token = self._current
-        if token.is_keyword("EXISTS"):
+        self._expect(_KEYWORD, "NOT")
+        if self._type is _KEYWORD and self._value == "EXISTS":
             self._advance()
             return Exists(query=self._parse_parenthesized_query(), negated=True)
         # "NOT column ..." — applies to IN or quantified comparison.
@@ -248,30 +306,38 @@ class Parser:
 
     def _parse_comparison_like(self) -> Predicate:
         left = self._parse_operand()
-        token = self._current
-        if token.is_keyword("NOT"):
-            self._advance()
-            self._expect_keyword("IN")
-            if not isinstance(left, ColumnRef):
-                raise SQLSyntaxError("IN requires a column on the left", token.position)
-            return InSubquery(column=left, query=self._parse_parenthesized_query(), negated=True)
-        if token.is_keyword("IN"):
-            self._advance()
-            if not isinstance(left, ColumnRef):
-                raise SQLSyntaxError("IN requires a column on the left", token.position)
-            return InSubquery(column=left, query=self._parse_parenthesized_query(), negated=False)
-        if token.type is not TokenType.OPERATOR:
+        if self._type is _KEYWORD:
+            if self._value == "NOT":
+                position = self._positions[self._index]
+                self._advance()
+                self._expect(_KEYWORD, "IN")
+                if not isinstance(left, ColumnRef):
+                    raise SQLSyntaxError("IN requires a column on the left", position)
+                return InSubquery(
+                    column=left, query=self._parse_parenthesized_query(), negated=True
+                )
+            if self._value == "IN":
+                position = self._positions[self._index]
+                self._advance()
+                if not isinstance(left, ColumnRef):
+                    raise SQLSyntaxError("IN requires a column on the left", position)
+                return InSubquery(
+                    column=left, query=self._parse_parenthesized_query(), negated=False
+                )
+        if self._type is not _OPERATOR:
             raise SQLSyntaxError(
-                f"expected comparison operator, found {token.value!r}", token.position
+                f"expected comparison operator, found {self._value!r}",
+                self._positions[self._index],
             )
-        op = self._advance().value
-        next_token = self._current
-        if next_token.is_keyword("ANY") or next_token.is_keyword("ALL"):
-            quantifier = self._advance().value
+        op = self._value
+        self._advance()
+        if self._type is _KEYWORD and self._value in ("ANY", "ALL"):
+            quantifier = self._value
+            position = self._positions[self._index]
+            self._advance()
             if not isinstance(left, ColumnRef):
                 raise SQLSyntaxError(
-                    "quantified comparison requires a column on the left",
-                    next_token.position,
+                    "quantified comparison requires a column on the left", position
                 )
             return QuantifiedComparison(
                 column=left,
@@ -279,7 +345,10 @@ class Parser:
                 quantifier=quantifier,
                 query=self._parse_parenthesized_query(),
             )
-        if next_token.type is TokenType.LPAREN and self._peek().is_keyword("SELECT"):
+        if self._type is _LPAREN and (
+            self._types[self._index + 1] is _KEYWORD
+            and self._values[self._index + 1] == "SELECT"
+        ):
             raise UnsupportedSQLError(
                 "scalar subqueries are not supported; use IN, EXISTS, ANY or ALL"
             )
@@ -287,27 +356,29 @@ class Parser:
         return Comparison(left=left, op=op, right=right)
 
     def _parse_operand(self) -> ColumnRef | Literal:
-        token = self._current
-        if token.type is TokenType.IDENTIFIER:
+        kind = self._type
+        if kind is _IDENTIFIER:
             return self._parse_column_ref()
-        if token.type is TokenType.NUMBER:
+        if kind is _NUMBER:
+            text = self._value
             self._advance()
-            text = token.value
             return Literal(float(text) if "." in text else int(text))
-        if token.type is TokenType.STRING:
+        if kind is _STRING:
+            value = self._value
             self._advance()
-            return Literal(token.value)
+            return Literal(value)
         raise SQLSyntaxError(
-            f"expected column or literal, found {token.value!r}", token.position
+            f"expected column or literal, found {self._value!r}",
+            self._positions[self._index],
         )
 
     def _parse_parenthesized_query(self) -> SelectQuery:
-        self._expect(TokenType.LPAREN)
+        self._expect(_LPAREN)
         query = self._parse_select_query()
-        self._expect(TokenType.RPAREN)
+        self._expect(_RPAREN)
         return query
 
 
 def parse(text: str) -> SelectQuery:
     """Parse SQL ``text`` into a :class:`SelectQuery` AST."""
-    return Parser(tokenize(text)).parse_query()
+    return Parser(scan(text)).parse_query()

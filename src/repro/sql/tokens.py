@@ -4,12 +4,20 @@ The lexer (:mod:`repro.sql.lexer`) produces a flat sequence of
 :class:`Token` objects which the recursive-descent parser consumes.  Keeping
 the token vocabulary tiny and explicit mirrors the small grammar in Fig. 4 of
 the paper.
+
+:class:`Token` is on the hot path of every compilation: corpus-scale runs
+create millions of tokens, and the pipeline's parse cache hashes
+``(type, value)`` pairs on every lookup.  It is therefore a ``__slots__``
+class with its hash precomputed at construction instead of a dataclass —
+no per-instance ``__dict__``, no repeated tuple hashing.  Instances are
+immutable by convention (nothing in the package mutates a token after the
+lexer creates it).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from typing import Union
 
 
 class TokenType(enum.Enum):
@@ -61,7 +69,6 @@ COMPARISON_OPERATORS = ("<", "<=", "=", "<>", ">=", ">")
 AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
 
 
-@dataclass(frozen=True)
 class Token:
     """A single lexical token.
 
@@ -77,13 +84,46 @@ class Token:
         Character offset of the first character of the token in the source.
     """
 
+    __slots__ = ("type", "value", "position", "_hash")
+
     type: TokenType
-    value: str
+    value: Union[str, int, float]
     position: int
+
+    def __init__(self, type: TokenType, value: str, position: int) -> None:
+        self.type = type
+        self.value = value
+        self.position = position
+        # Computed lazily: the lexer creates millions of tokens on cold
+        # corpus runs, but only the parse-stage cache key ever hashes them.
+        self._hash = -1
 
     def is_keyword(self, word: str) -> bool:
         """Return True if this token is the given keyword (case-insensitive)."""
         return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (
+            self.type is other.type
+            and self.value == other.value
+            and self.position == other.position
+        )
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h == -1:
+            h = hash((self.type, self.value, self.position))
+            if h == -1:  # hash() never returns -1; it is our "unset" marker
+                h = -2
+            self._hash = h
+        return h
+
+    def __reduce__(self):
+        # __slots__ classes have no default pickle state; rebuilding through
+        # the constructor also recomputes the cached hash on load.
+        return (Token, (self.type, self.value, self.position))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Token({self.type.name}, {self.value!r}, pos={self.position})"

@@ -109,6 +109,62 @@ class TestWhitespaceAndComments:
         assert tokens[1].position == 7
 
 
+class TestStringEscapes:
+    """Regression tests for the sliced (no longer char-at-a-time) literals."""
+
+    def test_empty_string_literal(self):
+        tokens = tokenize("''")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == ""
+
+    def test_literal_that_is_only_an_escaped_quote(self):
+        tokens = tokenize("''''")
+        assert tokens[0].value == "'"
+
+    def test_multiple_escapes_in_one_literal(self):
+        tokens = tokenize("'a''b''''c'")
+        assert tokens[0].value == "a'b''c"
+
+    def test_escape_at_start_and_end(self):
+        tokens = tokenize("'''x'''")
+        assert tokens[0].value == "'x'"
+
+    def test_adjacent_literals_do_not_merge(self):
+        values = [t.value for t in tokenize("'a' 'b'") if t.type is TokenType.STRING]
+        assert values == ["a", "b"]
+
+    def test_escaped_quote_then_unterminated_tail_raises(self):
+        with pytest.raises(SQLSyntaxError, match="string"):
+            tokenize("'a'' and then it never ends")
+
+
+class TestScanStream:
+    def test_scan_arrays_align(self):
+        from repro.sql.lexer import scan
+
+        stream = scan("SELECT T1.attr FROM T AS T1")
+        assert len(stream.types) == len(stream.values) == len(stream.positions)
+        assert stream.types[-1] is TokenType.EOF
+        assert stream.tokens() == tokenize("SELECT T1.attr FROM T AS T1")
+
+    def test_qualified_column_positions(self):
+        tokens = tokenize("T1.attr2")
+        assert [t.position for t in tokens[:3]] == [0, 2, 3]
+
+    def test_keyword_qualified_is_split_like_before(self):
+        # The fused qualified-column match must still classify keywords.
+        kinds_values = [(t.type, t.value) for t in tokenize("from.x")[:3]]
+        assert kinds_values == [
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.DOT, "."),
+            (TokenType.IDENTIFIER, "x"),
+        ]
+
+    def test_number_dot_identifier_unfused(self):
+        assert values("T1.attr") == ["T1", ".", "attr"]
+        assert values("1.5") == ["1.5"]
+
+
 class TestErrorCases:
     def test_unexpected_character(self):
         with pytest.raises(SQLSyntaxError):
@@ -117,3 +173,12 @@ class TestErrorCases:
     def test_error_mentions_position(self):
         with pytest.raises(SQLSyntaxError, match="position"):
             tokenize("SELECT @x")
+
+    def test_error_position_is_first_gap(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("SELECT @x FROM % T")
+        assert "@" in str(excinfo.value)
+
+    def test_gap_at_end_of_input(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT x @")
