@@ -6,6 +6,15 @@ Usage::
     python benchmarks/compare.py fresh.json \
         [--baseline benchmarks/BENCH_diagram.json] [--tolerance 0.4]
 
+    PYTHONPATH=src python -m repro bench-exec --engine both --rows 110000 \
+        --json fresh-exec.json
+    python benchmarks/compare.py fresh-exec.json \
+        --baseline benchmarks/BENCH_executor.json
+
+The key tables below cover both baseline kinds (diagram pipeline and
+executor); :func:`compare` only checks keys the baseline actually carries,
+so one gate serves every benchmark JSON.
+
 Two classes of checks:
 
 * **Deterministic facts must match exactly.**  Corpus composition, the
@@ -32,19 +41,31 @@ from pathlib import Path
 
 #: Keys that are deterministic given the corpus + pipeline version.
 EXACT_KEYS = (
+    # diagram pipeline
     "corpus_queries",
     "distinct_generated",
     "schema",
     "formats",
     "distinct_diagrams",
     "cache_hit_rate",
+    # executor
+    "engine",
+    "workload_queries",
+    "database_rows",
+    "skew",
+    "result_rows",
 )
 
 #: Ratio keys gated by the tolerance band (fresh >= baseline * (1 - tol)).
-RATIO_KEYS = ("speedup", "persistent_speedup_vs_cold")
+RATIO_KEYS = (
+    "speedup",
+    "persistent_speedup_vs_cold",
+    "columnar_speedup_cold",
+    "columnar_speedup_warm",
+)
 
 #: Keys that must be truthy whenever both sides carry them.
-FLAG_KEYS = ("parallel_identical",)
+FLAG_KEYS = ("parallel_identical", "results_identical")
 
 
 def compare(
@@ -98,7 +119,16 @@ def compare(
         if key in baseline and not fresh.get(key, False):
             failures.append(f"{key}: baseline requires it, fresh output says no")
 
-    for key in ("cold_ms", "batched_ms", "persistent_warm_ms", "parallel_ms"):
+    for key in (
+        "cold_ms",
+        "batched_ms",
+        "persistent_warm_ms",
+        "parallel_ms",
+        "rows_cold_ms",
+        "rows_warm_ms",
+        "columnar_cold_ms",
+        "columnar_warm_ms",
+    ):
         if key in baseline and key in fresh:
             notes.append(
                 f"{key}: {fresh[key]} (baseline machine: {baseline[key]}; "

@@ -1,11 +1,15 @@
-"""Experiment perf: plan-based executor vs the naive nested-loop oracle.
+"""Experiment perf: the relational engines against each other.
 
 Not a paper figure — the paper's engine questions are semantic, not about
 speed — but the ROADMAP's north star asks the reproduction to run as fast
-as the hardware allows.  This benchmark runs the Chinook 3-table equi-join
-batch (the join shapes of the study stimuli) through both execution modes
-and asserts the planner's hash joins beat the naive cartesian evaluation by
-at least an order of magnitude, with identical result sets.
+as the hardware allows.  Two comparisons, each with identical result sets
+asserted:
+
+* planned row pipeline vs the naive nested-loop oracle on the Chinook
+  3-table equi-join batch (the join shapes of the study stimuli);
+* vectorized columnar backend vs the planned row pipeline on the scaled
+  (>= 100k rows, zipf-skewed) database — the workload where per-row
+  interpretation overhead dominates and batch execution pays off.
 """
 
 from __future__ import annotations
@@ -15,7 +19,12 @@ import time
 from benchmarks.conftest import print_block
 
 from repro.relational import BatchExecutor, ExecutionMode
-from repro.workloads import chinook_bench_database, chinook_join_workload
+from repro.relational import columnar as _columnar
+from repro.workloads import (
+    chinook_bench_database,
+    chinook_join_workload,
+    scaled_bench_database,
+)
 
 _SCALE = 8
 _DATABASE = chinook_bench_database(scale=_SCALE)
@@ -26,6 +35,12 @@ _WORKLOAD = chinook_join_workload()
 #: larger (50-100x at this scale); 10x keeps the assertion robust on slow
 #: or noisy CI machines.
 _REQUIRED_SPEEDUP = 10.0
+
+#: Columnar-vs-planned bar on the scaled workload (steady-state batch,
+#: i.e. caches warm).  With NumPy the measured margin is ~15-20x; the
+#: pure-Python kernel fallback still clears ~5x, so the bar drops to 3x
+#: there to stay robust on noisy machines.
+_REQUIRED_COLUMNAR_SPEEDUP = 5.0 if _columnar._np is not None else 3.0
 
 
 def _run_mode(mode: ExecutionMode) -> tuple[float, list]:
@@ -75,6 +90,50 @@ def test_perf_plan_cache_amortizes_repeats():
         ),
     )
     assert stats.plan_hits >= len(_WORKLOAD)  # every repeat reused its plan
+
+
+def test_perf_columnar_vs_planned_on_scaled_workload():
+    """Columnar >= 5x planned rows on the 100k-row workload, same results."""
+    database = scaled_bench_database()
+    assert database.total_rows() >= 100_000  # the scaled workload's floor
+
+    timings = {}
+    results = {}
+    for name, mode in (("rows", ExecutionMode.PLANNED), ("columnar", ExecutionMode.COLUMNAR)):
+        batch = BatchExecutor(database, mode=mode)
+        start = time.perf_counter()
+        results[name] = batch.run(_WORKLOAD)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        batch.run(_WORKLOAD)
+        warm = time.perf_counter() - start
+        timings[name] = (cold, warm)
+
+    cold_speedup = timings["rows"][0] / timings["columnar"][0]
+    warm_speedup = timings["rows"][1] / timings["columnar"][1]
+    print_block(
+        "Executor: columnar vs planned rows (scaled zipfian Chinook)",
+        "\n".join(
+            (
+                f"database       {database.total_rows()} rows (zipf skew 1.1)",
+                f"workload       {len(_WORKLOAD)} three-table equi-join queries",
+                f"rows           {timings['rows'][0] * 1000:9.1f} ms cold "
+                f"{timings['rows'][1] * 1000:9.1f} ms warm",
+                f"columnar       {timings['columnar'][0] * 1000:9.1f} ms cold "
+                f"{timings['columnar'][1] * 1000:9.1f} ms warm",
+                f"speedup        {cold_speedup:9.1f}x cold {warm_speedup:9.1f}x warm "
+                f"(required warm: >= {_REQUIRED_COLUMNAR_SPEEDUP:.0f}x)",
+            )
+        ),
+    )
+
+    for rows_result, columnar_result in zip(results["rows"], results["columnar"]):
+        assert rows_result.columns == columnar_result.columns
+        assert rows_result.as_set() == columnar_result.as_set()
+    assert warm_speedup >= _REQUIRED_COLUMNAR_SPEEDUP
+    # Cold includes one-off columnar loading + statistics; it must still
+    # comfortably beat the row pipeline, just not by the warm margin.
+    assert cold_speedup >= 1.5
 
 
 def test_perf_planned_throughput(benchmark):

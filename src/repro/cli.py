@@ -119,11 +119,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench-exec",
-        help="run the Chinook batch workload through the plan-based executor",
+        help="run the Chinook batch workload through the relational engines",
+    )
+    bench.add_argument(
+        "--engine",
+        choices=("rows", "columnar", "both"),
+        default="rows",
+        help="execution backend: planned row pipeline, vectorized columnar, "
+        "or both (measures the columnar speedup, cold and warm)",
     )
     bench.add_argument(
         "--scale", type=int, default=10,
         help="database scale factor (rows grow roughly linearly)",
+    )
+    bench.add_argument(
+        "--rows", type=int, default=None,
+        help="target total row count; selects the scaled zipfian database "
+        "instead of --scale (e.g. --rows 110000 for the 100k-row workload)",
+    )
+    bench.add_argument(
+        "--skew", type=float, default=1.1,
+        help="zipf exponent for foreign keys of the scaled database "
+        "(only with --rows; 0 disables skew)",
     )
     bench.add_argument(
         "--repeat", type=int, default=3,
@@ -132,6 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--naive", action="store_true",
         help="also run the naive nested-loop oracle and report the speedup",
+    )
+    bench.add_argument(
+        "--json", help="also write the measurements to this JSON file"
     )
 
     bench_diagram = subparsers.add_parser(
@@ -314,46 +334,106 @@ def _run_explain(args: argparse.Namespace) -> int:
 
 
 def _run_bench_exec(args: argparse.Namespace) -> int:
+    import json
     import time
 
     from .relational import BatchExecutor, ExecutionMode
-    from .workloads import chinook_bench_database, chinook_join_workload
+    from .workloads import (
+        chinook_bench_database,
+        chinook_join_workload,
+        scaled_bench_database,
+    )
 
-    database = chinook_bench_database(scale=args.scale)
+    if args.rows is not None:
+        database = scaled_bench_database(total_rows=args.rows, skew=args.skew)
+        shape = f"scaled rows={args.rows} skew={args.skew}"
+    else:
+        database = chinook_bench_database(scale=args.scale)
+        shape = f"scale={args.scale}"
     queries = chinook_join_workload(repeat=args.repeat)
     print(
-        f"database: chinook scale={args.scale} ({database.total_rows()} rows), "
+        f"database: chinook {shape} ({database.total_rows()} rows), "
         f"workload: {len(queries)} queries"
     )
 
-    batch = BatchExecutor(database)
-    start = time.perf_counter()
-    planned_results = batch.run(queries)
-    planned_elapsed = time.perf_counter() - start
-    total_rows = sum(len(result) for result in planned_results)
-    print(
-        f"planned:  {planned_elapsed * 1000:8.1f} ms "
-        f"({len(queries) / planned_elapsed:8.1f} q/s, {total_rows} result rows)"
-    )
-    print(f"caches:   {batch.stats().describe()}")
+    engines = {
+        "rows": (ExecutionMode.PLANNED,),
+        "columnar": (ExecutionMode.COLUMNAR,),
+        "both": (ExecutionMode.PLANNED, ExecutionMode.COLUMNAR),
+    }[args.engine]
+
+    payload: dict = {
+        "engine": args.engine,
+        "workload_queries": len(queries),
+        "database_rows": database.total_rows(),
+        "skew": args.skew if args.rows is not None else None,
+    }
+    timings: dict[str, tuple[float, float]] = {}
+    results: dict[str, list] = {}
+    for mode in engines:
+        name = "rows" if mode is ExecutionMode.PLANNED else "columnar"
+        batch = BatchExecutor(database, mode=mode)
+        start = time.perf_counter()
+        cold_results = batch.run(queries)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        batch.run(queries)
+        warm = time.perf_counter() - start
+        timings[name] = (cold, warm)
+        results[name] = cold_results
+        total_rows = sum(len(result) for result in cold_results)
+        print(
+            f"{name}:{' ' * (9 - len(name))}{cold * 1000:8.1f} ms cold "
+            f"({len(queries) / cold:8.1f} q/s, {total_rows} result rows), "
+            f"{warm * 1000:8.1f} ms warm ({len(queries) / warm:8.1f} q/s)"
+        )
+        print(f"caches:   {batch.stats().describe()}")
+        payload[f"{name}_cold_ms"] = round(cold * 1000, 1)
+        payload[f"{name}_warm_ms"] = round(warm * 1000, 1)
+        payload["result_rows"] = total_rows
+
+    reference = results[
+        "rows" if ExecutionMode.PLANNED in engines else "columnar"
+    ]
+    if len(engines) == 2:
+        rows_cold, rows_warm = timings["rows"]
+        col_cold, col_warm = timings["columnar"]
+        identical = all(
+            a.as_set() == b.as_set()
+            for a, b in zip(results["rows"], results["columnar"])
+        )
+        payload["columnar_speedup_cold"] = round(rows_cold / col_cold, 1)
+        payload["columnar_speedup_warm"] = round(rows_warm / col_warm, 1)
+        payload["results_identical"] = identical
+        print(
+            f"columnar: {rows_cold / col_cold:.1f}x cold, "
+            f"{rows_warm / col_warm:.1f}x warm vs the row pipeline "
+            f"(identical results: {'yes' if identical else 'NO'})"
+        )
+        if not identical:
+            return 1
 
     if args.naive:
         oracle = BatchExecutor(database, mode=ExecutionMode.NAIVE)
         start = time.perf_counter()
         naive_results = oracle.run(queries)
         naive_elapsed = time.perf_counter() - start
+        fastest = min(warm for _, warm in timings.values())
         print(
             f"naive:    {naive_elapsed * 1000:8.1f} ms "
-            f"({len(queries) / naive_elapsed:8.1f} q/s)"
+            f"({len(queries) / naive_elapsed:8.1f} q/s), "
+            f"{naive_elapsed / fastest:.1f}x slower than the fastest engine"
         )
-        print(f"speedup:  {naive_elapsed / planned_elapsed:.1f}x")
         agree = all(
-            p.as_set() == n.as_set()
-            for p, n in zip(planned_results, naive_results)
+            p.as_set() == n.as_set() for p, n in zip(reference, naive_results)
         )
         print(f"results identical to naive oracle: {'yes' if agree else 'NO'}")
         if not agree:
             return 1
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"json:     wrote {args.json}")
     return 0
 
 

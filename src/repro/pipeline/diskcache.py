@@ -41,7 +41,9 @@ from pathlib import Path
 from typing import Any, Iterable
 
 #: Bump when cached products or key derivations change meaning.
-PIPELINE_CACHE_VERSION = 1
+#: 2: ResultSet became a slotted dataclass with a __reduce__ (PR 5) —
+#: stores holding dict-state ResultSet pickles must be invalidated whole.
+PIPELINE_CACHE_VERSION = 2
 
 #: First element of every pickled entry (guards against foreign files).
 _ENTRY_MAGIC = "repro-diskcache"

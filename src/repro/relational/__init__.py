@@ -2,6 +2,7 @@
 
 from .aggregates import AGGREGATES, apply_aggregate
 from .batch import BatchExecutor, BatchStats, execute_batch
+from .columnar import ColumnarTable
 from .database import Database, Relation, Row
 from .errors import (
     AmbiguousColumnError,
@@ -20,6 +21,7 @@ from .executor import (
 )
 from .plan import BlockPlan, PlanNode
 from .planner import Planner, plan_query
+from .stats import CatalogStatistics, KMVSketch, TableStats, stable_hash
 from .values import Value, compare, values_comparable
 
 __all__ = [
@@ -28,8 +30,11 @@ __all__ = [
     "BatchExecutor",
     "BatchStats",
     "BlockPlan",
+    "CatalogStatistics",
+    "ColumnarTable",
     "Database",
     "EngineError",
+    "KMVSketch",
     "ExecutionContext",
     "ExecutionMode",
     "ExecutionStats",
@@ -39,6 +44,7 @@ __all__ = [
     "Relation",
     "ResultSet",
     "Row",
+    "TableStats",
     "TypeMismatchError",
     "UnknownColumnError",
     "UnknownTableError",
@@ -48,5 +54,6 @@ __all__ = [
     "execute",
     "execute_batch",
     "plan_query",
+    "stable_hash",
     "values_comparable",
 ]

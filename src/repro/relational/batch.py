@@ -131,7 +131,10 @@ class BatchExecutor:
             query = parse(query)
         self._queries_run += 1
         disk = self._disk_cache
-        if disk is None or self._mode is not ExecutionMode.PLANNED:
+        if disk is None or self._mode is ExecutionMode.NAIVE:
+            # Planned and columnar results are interchangeable (identical
+            # sets by the differential contract), so both may serve from
+            # and populate the persistent store; the oracle stays live.
             return self._executor.execute(query)
         from ..pipeline.diskcache import stable_key_digest
 

@@ -9,6 +9,10 @@ modes (:class:`ExecutionMode`):
   hash equi-joins, semi-/anti-joins for decorrelated ``[NOT] IN``, memoized
   correlated subqueries) and the plan is interpreted as a pipeline of
   generators over flat row tuples.
+* ``COLUMNAR`` — the same compiled plan interpreted batch-at-a-time by the
+  vectorized backend (:mod:`repro.relational.columnar`): column-major
+  storage, selection-vector filters, cardinality-chosen hash-join build
+  sides.  Fastest on large databases; results are identical sets.
 * ``NAIVE`` — the original nested-loop reference semantics: the FROM clause
   enumerates the cartesian product of its tables; WHERE predicates are
   evaluated per combination, with correlated subqueries receiving the outer
@@ -30,8 +34,11 @@ Compiled plans, materialized scans and subquery results are cached on an
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .columnar import ColumnarTable
 
 from ..sql.ast import (
     AggregateCall,
@@ -78,18 +85,26 @@ from .values import Value, compare
 
 
 class ExecutionMode(enum.Enum):
-    """How queries are evaluated: planned pipelines or the naive oracle."""
+    """How queries are evaluated: row pipelines, columnar or the oracle."""
 
     NAIVE = "naive"
     PLANNED = "planned"
+    COLUMNAR = "columnar"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResultSet:
     """The result of executing a query: column labels plus result rows."""
 
     columns: tuple[str, ...]
     rows: tuple[tuple[Value, ...], ...]
+    #: Cache for :meth:`as_set`.  A real (non-init, non-compare) field so
+    #: the cache works with ``slots=True`` and never leaks into equality
+    #: or repr; writes go through ``object.__setattr__`` because the
+    #: dataclass is frozen.
+    _row_set: frozenset | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def as_set(self) -> frozenset[tuple[Value, ...]]:
         """The rows as a set (the comparison used in equivalence checks).
@@ -97,13 +112,17 @@ class ResultSet:
         The frozenset is computed once and cached, so repeated equivalence
         checks and ``in`` tests don't rebuild it.
         """
-        cached = self.__dict__.get("_row_set")
+        cached = self._row_set
         if cached is None:
             cached = frozenset(self.rows)
-            # The dataclass is frozen; going through __dict__ sidesteps the
-            # frozen __setattr__ without weakening immutability of the API.
-            self.__dict__["_row_set"] = cached
+            object.__setattr__(self, "_row_set", cached)
         return cached
+
+    def __reduce__(self):
+        # Pickle only the payload: the cache is derivable, and dropping it
+        # keeps persisted results (e.g. the batch disk cache) compact and
+        # independent of whether as_set() happened to have been called.
+        return (type(self), (self.columns, self.rows))
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -158,6 +177,7 @@ class ExecutionContext:
         self._planner = Planner(database)
         self._plans: dict[SelectQuery, BlockPlan] = {}
         self._scans: dict[str, tuple[int, list[tuple[Value, ...]]]] = {}
+        self._columnar: dict[str, tuple[int, "ColumnarTable"]] = {}
         self._subqueries: dict[tuple, object] = {}
         self._version = database.total_rows()
 
@@ -167,12 +187,16 @@ class ExecutionContext:
         Called at every top-level execution.  Versioning is by total row
         count, so plain inserts invalidate naturally; in-place mutation of
         existing rows is not detected (treat relations as append-only while
-        a context is alive).
+        a context is alive).  Plans are invalidated too: join orders are
+        cardinality-guided, so a plan compiled against yesterday's row
+        counts may be arbitrarily bad against today's.
         """
         version = self.database.total_rows()
         if version != self._version:
             self._version = version
+            self._plans.clear()
             self._scans.clear()
+            self._columnar.clear()
             self._subqueries.clear()
 
     # -- plans ---------------------------------------------------------- #
@@ -203,15 +227,46 @@ class ExecutionContext:
         self._scans[key] = (count, rows)
         return rows
 
-    # -- subqueries ------------------------------------------------------ #
+    def columnar_table(self, relation: Relation) -> "ColumnarTable":
+        """The relation loaded column-major, memoized per row count."""
+        key = relation.name.lower()
+        count = len(relation.rows)
+        cached = self._columnar.get(key)
+        if cached is not None and cached[0] == count:
+            self.stats.scan_hits += 1
+            return cached[1]
+        from .columnar import ColumnarTable
 
-    def subquery_exists(self, plan: BlockPlan, params: tuple[Value, ...]) -> bool:
+        self.stats.scan_misses += 1
+        table = ColumnarTable.from_relation(relation)
+        self._columnar[key] = (count, table)
+        return table
+
+    # -- subqueries ------------------------------------------------------ #
+    #
+    # ``runner`` evaluates a block plan's operator tree and returns its row
+    # tuples; ``None`` selects the row pipeline.  The columnar backend
+    # passes its own runner so nested blocks run columnar too.  Results are
+    # engine-independent (the differential suite asserts it), so both
+    # engines safely share one memo table.
+
+    def _run_subplan(self, plan: BlockPlan, params: tuple, runner) -> Iterator[tuple]:
+        if runner is None:
+            return _iter_node(plan.root, self, params)
+        return iter(runner(plan, self, params))
+
+    def subquery_exists(
+        self,
+        plan: BlockPlan,
+        params: tuple[Value, ...],
+        runner: Callable[..., list[tuple]] | None = None,
+    ) -> bool:
         key = (plan.ast, plan.param_shape, params, "exists")
         cached = self._subqueries.get(key)
         if cached is None:
             self.stats.subquery_misses += 1
             if _prechecks_pass(plan, self, params):
-                cached = next(iter(_iter_node(plan.root, self, params)), None) is not None
+                cached = next(self._run_subplan(plan, params, runner), None) is not None
             else:
                 cached = False
             self._subqueries[key] = cached
@@ -220,14 +275,19 @@ class ExecutionContext:
         return cached
 
     def subquery_values(
-        self, plan: BlockPlan, params: tuple[Value, ...]
+        self,
+        plan: BlockPlan,
+        params: tuple[Value, ...],
+        runner: Callable[..., list[tuple]] | None = None,
     ) -> "_SubqueryValues":
         key = (plan.ast, plan.param_shape, params, "values")
         cached = self._subqueries.get(key)
         if cached is None:
             self.stats.subquery_misses += 1
             if _prechecks_pass(plan, self, params):
-                values = tuple(row[0] for row in _iter_node(plan.root, self, params))
+                values = tuple(
+                    row[0] for row in self._run_subplan(plan, params, runner)
+                )
             else:
                 values = ()
             cached = _SubqueryValues(values)
@@ -240,24 +300,44 @@ class ExecutionContext:
 class _SubqueryValues:
     """Materialized single-column subquery result with probe fast paths.
 
-    Set/min/max probes are only used when the values are homogeneous (all
-    numeric or all string) *and* the probed value is of the same family —
-    otherwise the strict comparison loop runs so type errors surface exactly
-    as in the naive executor.
+    The value family is classified once on construction: ``"num"``,
+    ``"str"``, ``"mixed"`` (both families present) or ``"empty"``.  Probing
+    a non-empty result with a value of the other family, or probing a
+    mixed-family result with anything, raises
+    :class:`~.errors.TypeMismatchError` *deterministically* — the check is
+    up-front and order-independent, instead of relying on a comparison loop
+    whose short-circuit point (and therefore whether it raises at all)
+    would depend on the engine-specific enumeration order of the subquery.
+    With the family validated, the set/min/max fast paths are always safe.
     """
 
-    __slots__ = ("values", "_family", "_set", "_min", "_max")
+    __slots__ = ("values", "family", "_set", "_min", "_max")
 
     def __init__(self, values: tuple[Value, ...]) -> None:
         self.values = values
         families = {_family(v) for v in values}
-        self._family = next(iter(families)) if len(families) == 1 else None
+        if not families:
+            self.family = "empty"
+        elif len(families) == 1:
+            self.family = families.pop()
+        else:
+            self.family = "mixed"
         self._set: frozenset | None = None
         self._min: Value | None = None
         self._max: Value | None = None
 
-    def _fast(self, value: Value) -> bool:
-        return self._family is not None and _family(value) == self._family
+    def _check(self, value: Value) -> None:
+        """Validate the probe's family (values are known non-empty here)."""
+        if self.family == "mixed":
+            raise TypeMismatchError(
+                "subquery result mixes string and numeric values; "
+                "comparing against it is not well-typed"
+            )
+        if _family(value) != self.family:
+            raise TypeMismatchError(
+                f"cannot compare {type(value).__name__} with the subquery's "
+                f"{self.family} values"
+            )
 
     def as_set(self) -> frozenset:
         if self._set is None:
@@ -266,6 +346,10 @@ class _SubqueryValues:
 
     def _bounds(self) -> tuple[Value, Value]:
         if self._min is None:
+            if self.family not in ("num", "str"):  # pragma: no cover - guarded
+                raise TypeMismatchError(
+                    "min/max of a mixed-type subquery result is undefined"
+                )
             self._min = min(self.values)
             self._max = max(self.values)
         return self._min, self._max
@@ -274,18 +358,14 @@ class _SubqueryValues:
         """``value = ANY(values)`` — the IN membership check."""
         if not self.values:
             return False
-        if self._fast(value):
-            return value in self.as_set()
-        return any(compare(value, "=", member) for member in self.values)
+        self._check(value)
+        return value in self.as_set()
 
     def quantified(self, value: Value, op: str, quantifier: str) -> bool:
         """``value op ANY/ALL (values)`` with min/max shortcuts."""
         if not self.values:
             return quantifier == "ALL"
-        if not self._fast(value):
-            if quantifier == "ANY":
-                return any(compare(value, op, m) for m in self.values)
-            return all(compare(value, op, m) for m in self.values)
+        self._check(value)
         lo, hi = self._bounds()
         if quantifier == "ANY":
             if op == "=":
@@ -609,6 +689,10 @@ class Executor:
             return self._execute_block(query, _Environment())
         self._context.refresh()
         plan = self._context.plan(query)
+        if self._mode is ExecutionMode.COLUMNAR:
+            from .columnar import run_block_columnar
+
+            return run_block_columnar(plan, self._context)
         return run_block(plan, self._context)
 
     def explain(self, query: SelectQuery) -> str:

@@ -9,9 +9,14 @@ fragment:
   block invocation;
 * **equi-join detection** — ``A.x = B.y`` predicates between two tables of
   the block turn the cartesian product into a :class:`~.plan.HashJoin`;
-  join order is chosen greedily so each table joins against the already
-  bound set through at least one predicate whenever possible (avoiding
-  accidental cartesian products for any connected join graph);
+* **cardinality-guided join ordering** — a lightweight statistics layer
+  (:mod:`repro.relational.stats`: exact row counts plus per-column distinct
+  counts, KMV-sketched on large relations) estimates each table's filtered
+  cardinality and each join's output size; the greedy left-deep order
+  starts from the smallest filtered table and repeatedly adds the
+  *connected* table minimizing the estimated intermediate result (tables
+  connected to the bound set always beat unconnected ones, so any connected
+  join graph still avoids accidental cartesian products);
 * **decorrelation** — ``[NOT] IN`` subqueries (and the equivalent
   ``= ANY`` / ``<> ALL`` spellings) that do not reference the current block
   become :class:`~.plan.SemiJoin` / :class:`~.plan.AntiJoin` operators whose
@@ -67,6 +72,11 @@ from .plan import (
 
 from .resolve import match_column as _match_column
 from .resolve import matches_group_key, result_columns
+from .stats import (
+    EQUALITY_DEFAULT_SELECTIVITY,
+    RANGE_SELECTIVITY,
+    CatalogStatistics,
+)
 
 #: Resolver supplied by the enclosing block when planning a subquery: maps a
 #: column reference to an expression in the *enclosing* frame (raising
@@ -92,14 +102,26 @@ class _Instance:
 
 
 class Planner:
-    """Compiles queries into :class:`~.plan.BlockPlan` trees."""
+    """Compiles queries into :class:`~.plan.BlockPlan` trees.
 
-    def __init__(self, database: Database) -> None:
+    ``statistics`` drives join ordering; when omitted, a fresh
+    :class:`~.stats.CatalogStatistics` is collected lazily from the
+    database (cached per relation, invalidated by row-count changes).
+    """
+
+    def __init__(
+        self, database: Database, statistics: CatalogStatistics | None = None
+    ) -> None:
         self._db = database
+        self._stats = statistics if statistics is not None else CatalogStatistics(database)
+
+    @property
+    def statistics(self) -> CatalogStatistics:
+        return self._stats
 
     def plan(self, query: SelectQuery) -> BlockPlan:
         """Compile ``query`` (and all nested blocks) into a plan."""
-        return _BlockPlanner(self._db, query, outer=None).compile()
+        return _BlockPlanner(self._db, query, outer=None, statistics=self._stats).compile()
 
 
 class _BlockPlanner:
@@ -110,10 +132,12 @@ class _BlockPlanner:
         database: Database,
         query: SelectQuery,
         outer: OuterResolver | None,
+        statistics: CatalogStatistics | None = None,
     ) -> None:
         self._db = database
         self._query = query
         self._outer = outer
+        self._stats = statistics if statistics is not None else CatalogStatistics(database)
         self._instances = [
             _Instance(index, table.effective_alias, database.relation(table.name))
             for index, table in enumerate(query.from_tables)
@@ -223,26 +247,112 @@ class _BlockPlanner:
     # join ordering and tree construction
     # ------------------------------------------------------------------ #
 
-    def _join_order(self, pred_indices: list[set[int]]) -> list[int]:
-        """Greedy left-deep order: prefer tables connected to the bound set."""
+    # -- cardinality estimation ----------------------------------------- #
+
+    def _column_distinct(self, operand, fallback: float = 10.0) -> float:
+        """Distinct-count estimate of a column operand (1.0 for literals)."""
+        if not isinstance(operand, ColumnRef):
+            return fallback
+        instance = self._instance_for(operand)
+        if instance is None:
+            return fallback  # outer reference: a single parameter value
+        key = _match_column(instance.relation, operand.column)
+        if key is None:  # pragma: no cover - _instance_for validated it
+            return fallback
+        return float(self._stats.for_relation(instance.relation).distinct_of(key))
+
+    def _scan_selectivity(self, pred: Comparison) -> float:
+        """Selectivity estimate of a single-table selection predicate."""
+        if pred.op == "<>":
+            return 1.0
+        if pred.op != "=":
+            return RANGE_SELECTIVITY
+        distincts = [
+            self._column_distinct(operand)
+            for operand in (pred.left, pred.right)
+            if isinstance(operand, ColumnRef) and self._instance_for(operand) is not None
+        ]
+        if not distincts:
+            return EQUALITY_DEFAULT_SELECTIVITY
+        return 1.0 / max(max(distincts), 1.0)
+
+    def _estimated_scan_rows(
+        self, instance: _Instance, preds: list[Comparison] | None
+    ) -> float:
+        est = float(self._stats.for_relation(instance.relation).row_count)
+        for pred in preds or ():
+            est *= self._scan_selectivity(pred)
+        return max(est, 0.001)  # keep products well-defined for empty tables
+
+    def _join_selectivity(self, pred: Comparison, indices: set[int]) -> float:
+        """Selectivity estimate of a join predicate between bound tables."""
+        if pred.op == "=" and pred.is_join and len(indices) == 2:
+            return 1.0 / max(
+                self._column_distinct(pred.left), self._column_distinct(pred.right), 1.0
+            )
+        if pred.op == "<>":
+            return 1.0
+        if pred.op == "=":
+            return EQUALITY_DEFAULT_SELECTIVITY
+        return RANGE_SELECTIVITY
+
+    def _join_order(
+        self,
+        scan_preds: dict[int, list[Comparison]],
+        join_preds: list[tuple[Comparison, set[int]]],
+    ) -> list[int]:
+        """Greedy left-deep order guided by estimated cardinalities.
+
+        Start from the table with the smallest estimated *filtered*
+        cardinality, then repeatedly add the table that minimizes the
+        estimated size of the joined intermediate result.  Connectivity
+        dominates the choice: a table joined to the bound set through at
+        least one predicate always beats an unconnected one, so any
+        connected join graph still avoids accidental cartesian products —
+        the statistics only refine the order *within* those constraints.
+        Ties break on FROM-clause position, keeping plans deterministic.
+        """
         n = len(self._instances)
-        order = [0]
-        bound = {0}
-        remaining = list(range(1, n))
+        if n == 1:
+            return [0]
+        base = {
+            instance.from_index: self._estimated_scan_rows(
+                instance, scan_preds.get(instance.from_index)
+            )
+            for instance in self._instances
+        }
+        pred_info = [
+            (indices, self._join_selectivity(pred, indices))
+            for pred, indices in join_preds
+        ]
+        start = min(range(n), key=lambda index: (base[index], index))
+        order = [start]
+        bound = {start}
+        bound_size = base[start]
+        remaining = [index for index in range(n) if index != start]
         while remaining:
-            choice = None
+            best_key: tuple | None = None
+            best_choice = remaining[0]
+            best_size = bound_size * base[best_choice]
             for candidate in remaining:
-                if any(
-                    candidate in indices and (indices - {candidate}) & bound
-                    for indices in pred_indices
-                ):
-                    choice = candidate
-                    break
-            if choice is None:
-                choice = remaining[0]
-            order.append(choice)
-            bound.add(choice)
-            remaining.remove(choice)
+                connected = False
+                size = bound_size * base[candidate]
+                for indices, selectivity in pred_info:
+                    if candidate not in indices:
+                        continue
+                    others = indices - {candidate}
+                    if others and others <= bound:
+                        connected = True
+                        size *= selectivity
+                key = (not connected, size, candidate)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_choice = candidate
+                    best_size = size
+            order.append(best_choice)
+            bound.add(best_choice)
+            bound_size = max(best_size, 0.001)
+            remaining.remove(best_choice)
         return order
 
     def compile(self) -> BlockPlan:
@@ -266,7 +376,7 @@ class _BlockPlanner:
             elif len(indices) > 1:
                 join_preds.append((pred, indices))
 
-        order = self._join_order([indices for _, indices in join_preds])
+        order = self._join_order(scan_preds, join_preds)
 
         tree: PlanNode | None = None
         bases: dict[int, int] = {}
@@ -395,7 +505,10 @@ class _BlockPlanner:
 
     def _subquery_pred(self, predicate, bases: dict[int, int]) -> SubqueryPred:
         child = _BlockPlanner(
-            self._db, predicate.query, outer=self._resolver_for_child(bases)
+            self._db,
+            predicate.query,
+            outer=self._resolver_for_child(bases),
+            statistics=self._stats,
         )
         if isinstance(predicate, Exists):
             plan = child.compile()

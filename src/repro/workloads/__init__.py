@@ -4,10 +4,16 @@ from .datagen import (
     beers_database,
     beers_fig3_database,
     chinook_database,
+    chinook_scaled_database,
     generic_database,
     sailors_database,
+    zipf_sampler,
 )
-from .execbench import chinook_bench_database, chinook_join_workload
+from .execbench import (
+    chinook_bench_database,
+    chinook_join_workload,
+    scaled_bench_database,
+)
 from .querygen import QueryGenConfig, QueryGenerator
 
 __all__ = [
@@ -18,6 +24,9 @@ __all__ = [
     "chinook_bench_database",
     "chinook_database",
     "chinook_join_workload",
+    "chinook_scaled_database",
     "generic_database",
     "sailors_database",
+    "scaled_bench_database",
+    "zipf_sampler",
 ]

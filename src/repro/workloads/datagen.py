@@ -1,14 +1,21 @@
 """Synthetic data generators for the built-in schemas.
 
 The relational engine only needs data to *verify semantics* (SQL execution vs
-Logic Tree evaluation), so the generators aim for small databases with enough
-value collisions that joins, NOT EXISTS and self-join predicates all have
-non-trivial answers.  All generators are deterministic given the seed.
+Logic Tree evaluation), so most generators aim for small databases with
+enough value collisions that joins, NOT EXISTS and self-join predicates all
+have non-trivial answers.  :func:`chinook_scaled_database` is the exception:
+a parameterized generator producing 100k+-row databases (with optional
+zipfian foreign-key skew) so the executor benchmarks measure the engines
+where throughput actually matters.  All generators are deterministic given
+the seed.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
+from itertools import accumulate
+from typing import Callable
 
 from ..catalog.builtin import beers_fig3_schema, beers_schema, sailors_schema
 from ..catalog.chinook import chinook_schema
@@ -113,6 +120,147 @@ def generic_database(
             if key not in seen:  # keep set semantics interesting, not degenerate
                 seen.add(key)
                 db.insert(table.name, row)
+    return db
+
+
+def zipf_sampler(
+    rng: random.Random, n: int, skew: float
+) -> Callable[[], int]:
+    """A sampler of ids in ``[1, n]``; zipfian with exponent ``skew``.
+
+    ``skew <= 0`` degenerates to the uniform sampler.  With skew, id 1 is
+    the most popular, id ``n`` the least — the classic rank-frequency
+    shape of real catalog traffic, which is exactly what makes join-order
+    and build-side choices matter (a few hub rows fan out enormously).
+    The cumulative weight table is built once; each draw is one ``random()``
+    plus a binary search.
+    """
+    if n < 1:
+        raise ValueError("zipf_sampler needs a non-empty id domain")
+    if skew <= 0:
+        return lambda: rng.randint(1, n)
+    cumulative = list(accumulate(1.0 / (rank**skew) for rank in range(1, n + 1)))
+    total = cumulative[-1]
+    return lambda: bisect_left(cumulative, rng.random() * total) + 1
+
+
+def chinook_scaled_database(
+    total_rows: int = 100_000, seed: int = 7, skew: float = 0.0
+) -> Database:
+    """A parameterized Chinook database of roughly ``total_rows`` rows.
+
+    Row budget (fractions of ``total_rows``): Track 33%, InvoiceLine 23%,
+    PlaylistTrack 15%, Invoice 11%, Album 8%, Artist 5%, Customer 5%; plus
+    the small fixed dimensions (Genre, MediaType, Playlist, Employee).
+    ``skew > 0`` draws every foreign key zipfian with that exponent, so a
+    few hub artists/albums/tracks concentrate most of the references —
+    selection literals keep their selectivity, but join fan-outs become
+    heavy-tailed.  Deterministic given ``(total_rows, seed, skew)``.
+    """
+    rng = random.Random(seed)
+    db = Database(chinook_schema())
+
+    n_artists = max(1, total_rows * 5 // 100)
+    n_albums = max(1, total_rows * 8 // 100)
+    n_tracks = max(1, total_rows * 33 // 100)
+    n_customers = max(1, total_rows * 5 // 100)
+    n_invoices = max(1, total_rows * 11 // 100)
+    n_invoice_lines = max(1, total_rows * 23 // 100)
+    n_playlist_tracks = max(1, total_rows * 15 // 100)
+    n_playlists = max(3, total_rows // 5000)
+
+    genres = ["Rock", "Pop", "Jazz", "Classical"]
+    media_types = ["AAC audio file", "MPEG audio file"]
+    composers = ["Carlos", "artist1", "someone else"]
+    states = ["Michigan", "Ohio", "Texas", "California", "Nevada"]
+    countries = ["USA", "France", "Canada", "Germany", "Brazil"]
+
+    for genre_id, name in enumerate(genres, start=1):
+        db.insert("Genre", [genre_id, name])
+    for media_id, name in enumerate(media_types, start=1):
+        db.insert("MediaType", [media_id, name])
+    for employee_id in range(1, 4):
+        db.insert(
+            "Employee",
+            {
+                "EmployeeId": employee_id,
+                "LastName": f"last{employee_id}",
+                "FirstName": f"first{employee_id}",
+                "Title": "Support",
+                "ReportsTo": max(1, employee_id - 1),
+                "Country": "USA",
+            },
+        )
+
+    artist_of = zipf_sampler(rng, n_artists, skew)
+    album_of = zipf_sampler(rng, n_albums, skew)
+    track_of = zipf_sampler(rng, n_tracks, skew)
+    customer_of = zipf_sampler(rng, n_customers, skew)
+    invoice_of = zipf_sampler(rng, n_invoices, skew)
+    playlist_of = zipf_sampler(rng, n_playlists, skew)
+
+    artist_rel = db.relation("Artist")
+    for artist_id in range(1, n_artists + 1):
+        artist_rel.insert([artist_id, f"artist{artist_id}"])
+    album_rel = db.relation("Album")
+    for album_id in range(1, n_albums + 1):
+        album_rel.insert([album_id, f"album{album_id}", artist_of()])
+    track_rel = db.relation("Track")
+    for track_id in range(1, n_tracks + 1):
+        track_rel.insert(
+            [
+                track_id,
+                f"track{track_id}",
+                album_of(),
+                rng.randint(1, len(media_types)),
+                rng.randint(1, len(genres)),
+                rng.choice(composers),
+                rng.randint(120_000, 420_000),
+                rng.randint(1_000_000, 9_000_000),
+                0.99,
+            ]
+        )
+    playlist_rel = db.relation("Playlist")
+    for playlist_id in range(1, n_playlists + 1):
+        playlist_rel.insert([playlist_id, f"playlist{playlist_id}"])
+    playlist_track_rel = db.relation("PlaylistTrack")
+    seen_playlist_entries: set[tuple[int, int]] = set()
+    for _ in range(n_playlist_tracks):
+        entry = (playlist_of(), track_of())
+        if entry not in seen_playlist_entries:  # composite primary key
+            seen_playlist_entries.add(entry)
+            playlist_track_rel.insert(entry)
+    customer_rel = db.relation("Customer")
+    customer_columns = customer_rel.columns
+    for customer_id in range(1, n_customers + 1):
+        values = dict.fromkeys(customer_columns, "")
+        values.update(
+            CustomerId=customer_id,
+            FirstName=f"cfirst{customer_id}",
+            LastName=f"clast{customer_id}",
+            City=f"city{customer_id % 17}",
+            State=rng.choice(states),
+            Country=rng.choice(countries),
+            SupportRepId=rng.randint(1, 3),
+        )
+        customer_rel.insert([values[column] for column in customer_columns])
+    invoice_rel = db.relation("Invoice")
+    invoice_columns = invoice_rel.columns
+    for invoice_id in range(1, n_invoices + 1):
+        values = dict.fromkeys(invoice_columns, "")
+        values.update(
+            InvoiceId=invoice_id,
+            CustomerId=customer_of(),
+            BillingState=rng.choice(states),
+            BillingCountry=rng.choice(countries),
+            Total=round(rng.uniform(1, 30), 2),
+        )
+        invoice_rel.insert([values[column] for column in invoice_columns])
+    invoice_line_rel = db.relation("InvoiceLine")
+    for line_id in range(1, n_invoice_lines + 1):
+        invoice_line_rel.insert(
+            [line_id, invoice_of(), track_of(), 0.99, rng.randint(1, 3)]
+        )
     return db
 
 

@@ -136,8 +136,29 @@ class TestExplainAndBenchExec:
         # Tiny scale keeps this a functional smoke test, not a benchmark.
         assert main(["bench-exec", "--scale", "1", "--repeat", "1", "--naive"]) == 0
         output = capsys.readouterr().out
-        assert "planned:" in output and "speedup:" in output
+        assert "rows:" in output and "ms cold" in output and "ms warm" in output
         assert "results identical to naive oracle: yes" in output
+
+    def test_bench_exec_both_engines_with_json(self, capsys, tmp_path):
+        json_path = tmp_path / "exec.json"
+        assert (
+            main(
+                [
+                    "bench-exec", "--engine", "both", "--rows", "900",
+                    "--repeat", "1", "--json", str(json_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "columnar:" in output and "identical results: yes" in output
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["results_identical"] is True
+        assert payload["workload_queries"] == 12
+        assert payload["columnar_speedup_warm"] > 0
+        assert payload["database_rows"] > 800
 
     def test_bench_diagram_smoke(self, capsys, tmp_path):
         # Tiny corpus keeps this a functional smoke test, not a benchmark.

@@ -88,11 +88,15 @@ class TestPlanShapes:
         assert isinstance(project, Project)
         outer_join = project.child
         assert isinstance(outer_join, HashJoin)
-        # The selection on Boat.color is pushed below the join, into the scan.
-        build_side = outer_join.right
-        assert isinstance(build_side, Filter)
-        assert isinstance(build_side.child, Scan)
-        assert build_side.child.table == "Boat"
+        # The selection on Boat.color is pushed below the joins, into the
+        # scan — and cardinality-guided ordering starts the left-deep tree
+        # from that filtered scan (the smallest estimated input).
+        leftmost = outer_join
+        while isinstance(leftmost, HashJoin):
+            leftmost = leftmost.left
+        assert isinstance(leftmost, Filter)
+        assert isinstance(leftmost.child, Scan)
+        assert leftmost.child.table == "Boat"
 
     def test_inequality_join_uses_nested_loop(self, db):
         plan = plan_query(
