@@ -11,9 +11,16 @@ Usage::
     python benchmarks/compare.py fresh-exec.json \
         --baseline benchmarks/BENCH_executor.json
 
-The key tables below cover both baseline kinds (diagram pipeline and
-executor); :func:`compare` only checks keys the baseline actually carries,
-so one gate serves every benchmark JSON.
+    PYTHONPATH=src python -m repro bench-serve --json fresh-serve.json
+    python benchmarks/compare.py fresh-serve.json \
+        --baseline benchmarks/BENCH_serve.json
+
+The key tables below cover every baseline kind (diagram pipeline,
+executor, serving tier); :func:`compare` only gates keys the baseline
+actually carries, so one gate serves every benchmark JSON.  On top of the
+per-table checks, **every key the baseline carries must still exist in the
+fresh output** — a renamed or dropped metric fails the gate (with a
+per-metric diff table) instead of silently un-gating itself.
 
 Two classes of checks:
 
@@ -54,6 +61,17 @@ EXACT_KEYS = (
     "database_rows",
     "skew",
     "result_rows",
+    # serving tier (seeded workload against a fresh in-process server)
+    "distinct_queries",
+    "concurrency",
+    "warm_repeat",
+    "burst_distinct",
+    "burst_duplicates",
+    "requests_cold",
+    "requests_warm",
+    "burst_requests",
+    "burst_unique_compiles",
+    "burst_unique_fraction",
 )
 
 #: Ratio keys gated by the tolerance band (fresh >= baseline * (1 - tol)).
@@ -62,10 +80,36 @@ RATIO_KEYS = (
     "persistent_speedup_vs_cold",
     "columnar_speedup_cold",
     "columnar_speedup_warm",
+    "warm_speedup_p50",
+    "coalesce_collapse",
 )
 
 #: Keys that must be truthy whenever both sides carry them.
 FLAG_KEYS = ("parallel_identical", "results_identical")
+
+#: Machine-dependent measurements: reported, never gated.
+INFO_KEYS = (
+    "cold_ms",
+    "batched_ms",
+    "persistent_warm_ms",
+    "parallel_ms",
+    "rows_cold_ms",
+    "rows_warm_ms",
+    "columnar_cold_ms",
+    "columnar_warm_ms",
+    "cold_p50_ms",
+    "cold_p99_ms",
+    "cold_rps",
+    "warm_p50_ms",
+    "warm_p99_ms",
+    "warm_rps",
+    "burst_p50_ms",
+    "burst_p99_ms",
+    "burst_rps",
+    # how many requests *observably* awaited an in-flight compile is a
+    # race between workers — the deterministic gate is burst_unique_compiles
+    "coalesced_requests",
+)
 
 
 def compare(
@@ -119,22 +163,54 @@ def compare(
         if key in baseline and not fresh.get(key, False):
             failures.append(f"{key}: baseline requires it, fresh output says no")
 
-    for key in (
-        "cold_ms",
-        "batched_ms",
-        "persistent_warm_ms",
-        "parallel_ms",
-        "rows_cold_ms",
-        "rows_warm_ms",
-        "columnar_cold_ms",
-        "columnar_warm_ms",
-    ):
+    for key in INFO_KEYS:
         if key in baseline and key in fresh:
             notes.append(
                 f"{key}: {fresh[key]} (baseline machine: {baseline[key]}; "
                 "absolute times are informational only)"
             )
+
+    # Completeness sweep: *every* baseline key must still exist in the
+    # fresh output.  Without this, renaming a metric silently un-gates it —
+    # the old checks skip keys the baseline carries but no table names, and
+    # a stale baseline key would pass forever.
+    already_reported = set(EXACT_KEYS) | set(RATIO_KEYS) | set(FLAG_KEYS)
+    already_reported.add("stages")
+    covered = already_reported | set(INFO_KEYS)
+    for key in baseline:
+        if key not in fresh:
+            if key not in already_reported:
+                failures.append(
+                    f"{key}: present in baseline but missing from fresh "
+                    "output (renamed or dropped metric?)"
+                )
+        elif key not in covered:
+            if isinstance(baseline[key], dict):
+                notes.append(f"{key}: present (nested, not gated)")
+            else:
+                notes.append(
+                    f"{key}: {fresh[key]!r} (baseline {baseline[key]!r}; "
+                    "not gated)"
+                )
     return failures, notes
+
+
+def _cell(value: object) -> str:
+    text = repr(value)
+    return text if len(text) <= 28 else text[:25] + "..."
+
+
+def diff_table(fresh: dict, baseline: dict) -> list[str]:
+    """Per-metric table of baseline vs fresh, flagging missing keys."""
+    rows = [f"  {'':1} {'metric':<28} {'baseline':<30} fresh"]
+    for key in sorted(baseline):
+        missing = key not in fresh
+        marker = "!" if missing else " "
+        fresh_cell = "(missing)" if missing else _cell(fresh[key])
+        rows.append(
+            f"  {marker} {key:<28} {_cell(baseline[key]):<30} {fresh_cell}"
+        )
+    return rows
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -168,6 +244,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  ok    {note}")
     for failure in failures:
         print(f"  FAIL  {failure}")
+    if any(key not in fresh for key in baseline):
+        print("\nbaseline vs fresh metric diff (! = missing from fresh):")
+        for row in diff_table(fresh, baseline):
+            print(row)
     if failures:
         print(
             f"\n{len(failures)} benchmark regression(s) vs {args.baseline} "

@@ -1,0 +1,73 @@
+"""Experiment perf: the serving tier under sustained concurrent load.
+
+Runs the same workload ``repro bench-serve`` runs (and whose results are
+checked in as ``benchmarks/BENCH_serve.json``) against a fresh in-process
+server, and asserts the two properties the serving tier exists to provide:
+
+* **warm ≥ 10× cold** — once the response LRU holds a query's rendered
+  payload, serving it must cost at least an order of magnitude less than
+  compiling it (the acceptance bar; the checked-in baseline measures ~14×);
+* **coalescing collapses duplicates** — a duplicate-heavy burst against
+  never-seen fingerprints must trigger at most 10% as many compiles as it
+  has requests, because concurrent equivalent requests await one in-flight
+  compile instead of compiling again.
+
+Both assertions are ratios of like measurements on the same machine in the
+same process, so they are robust against slow CI hardware.  The compile
+counters are deterministic (seeded querygen, fresh server): the burst's
+distinct queries plus *one* compile for the whole Fig. 24 equivalence trio.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_block
+
+from repro.workloads import ServeBenchConfig, serve_bench
+
+
+def test_serving_tier_meets_latency_and_coalescing_bars():
+    config = ServeBenchConfig()
+    payload = serve_bench(config)
+
+    print_block(
+        "serving tier: cold vs warm vs duplicate-heavy burst",
+        "\n".join(
+            [
+                f"cold:  p50 {payload['cold_p50_ms']:8.2f} ms, "
+                f"p99 {payload['cold_p99_ms']:8.2f} ms, "
+                f"{payload['cold_rps']:8.1f} req/s",
+                f"warm:  p50 {payload['warm_p50_ms']:8.2f} ms, "
+                f"p99 {payload['warm_p99_ms']:8.2f} ms, "
+                f"{payload['warm_rps']:8.1f} req/s",
+                f"burst: p50 {payload['burst_p50_ms']:8.2f} ms, "
+                f"p99 {payload['burst_p99_ms']:8.2f} ms, "
+                f"{payload['burst_rps']:8.1f} req/s",
+                f"warm speedup: {payload['warm_speedup_p50']:.1f}x p50",
+                f"burst: {payload['burst_requests']} requests -> "
+                f"{payload['burst_unique_compiles']} compiles "
+                f"({payload['burst_unique_fraction']:.1%} unique, "
+                f"collapse {payload['coalesce_collapse']:.1f}x, "
+                f"{payload['coalesced_requests']} coalesced in flight)",
+            ]
+        ),
+    )
+
+    # Acceptance bar: response-LRU hits are >= 10x cheaper than compiles.
+    assert payload["warm_speedup_p50"] >= 10.0, payload["warm_speedup_p50"]
+
+    # Deterministic coalescing accounting: every distinct burst query
+    # compiles once, and the three Fig. 24 variants share one fingerprint.
+    assert (
+        payload["burst_unique_compiles"] == config.burst_distinct + 1
+    ), payload["burst_unique_compiles"]
+    assert payload["burst_unique_fraction"] <= 0.10
+    # At least some duplicates observably awaited an in-flight compile
+    # (how many exactly is a benign race between workers).
+    assert payload["coalesced_requests"] > 0
+
+    # Workload shape matches what BENCH_serve.json was measured with.
+    assert payload["requests_cold"] == config.distinct
+    assert payload["requests_warm"] == config.distinct * config.warm_repeat
+    assert payload["burst_requests"] == (
+        (config.burst_distinct + 3) * config.burst_duplicates
+    )

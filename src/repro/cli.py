@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro explain query.sql
     python -m repro bench-exec --scale 10 --repeat 3
     python -m repro bench-diagram --queries 1200 --distinct 200
+    python -m repro serve --port 8080 --disk-cache ~/.cache/repro
+    python -m repro bench-serve --concurrency 16 --json serve.json
 
 ``render`` turns an SQL file (or stdin when the path is ``-``) into a DOT,
 SVG or plain-text diagram via the staged compilation pipeline;
@@ -21,7 +23,10 @@ user-study replication and prints the Fig. 7-style report; ``explain``
 prints the relational engine's execution plan for a query; ``bench-exec``
 runs the Chinook batch workload through the planned executor; and
 ``bench-diagram`` compiles a generated corpus through the diagram pipeline
-cold vs. batched and reports the speedup and per-stage cache statistics.
+cold vs. batched and reports the speedup and per-stage cache statistics;
+``serve`` runs the long-lived compile server (see ``docs/serving.md``); and
+``bench-serve`` load-tests it, reporting sustained req/s, p50/p99 latency
+cold vs. warm, and how far in-flight coalescing collapses duplicate bursts.
 """
 
 from __future__ import annotations
@@ -192,6 +197,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent cache directory; also times a cross-process warm start",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived diagram-compilation HTTP server",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--disk-cache",
+        help="persistent cache directory shared with batch runs/warm-cache",
+    )
+    serve.add_argument(
+        "--lru-size", type=int, default=1024,
+        help="bounded response-LRU capacity in rendered payloads",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admitted-request bound; excess load is shed with 503",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="per-request wall-clock budget in seconds (503 beyond it)",
+    )
+    serve.add_argument(
+        "--no-simplify",
+        action="store_true",
+        help="serve the literal NOT EXISTS form instead of the ∀ simplification",
+    )
+
+    bench_serve = subparsers.add_parser(
+        "bench-serve",
+        help="load-test the compile server: cold/warm latency and coalescing",
+    )
+    bench_serve.add_argument(
+        "--distinct", type=int, default=50,
+        help="distinct queries in the cold/warm phases",
+    )
+    bench_serve.add_argument(
+        "--warm-repeat", type=int, default=4,
+        help="how many rounds of the distinct set the warm phase replays",
+    )
+    bench_serve.add_argument(
+        "--concurrency", type=int, default=16,
+        help="concurrent keep-alive client connections",
+    )
+    bench_serve.add_argument(
+        "--burst-distinct", type=int, default=10,
+        help="distinct never-seen queries in the duplicate-heavy burst",
+    )
+    bench_serve.add_argument(
+        "--burst-duplicates", type=int, default=20,
+        help="copies of each burst query fired concurrently",
+    )
+    bench_serve.add_argument(
+        "--schema",
+        choices=("sailors", "beers", "chinook"),
+        default="sailors",
+        help="schema the generated queries range over",
+    )
+    bench_serve.add_argument(
+        "--formats", default="svg,dot,text",
+        help="comma-separated output formats requested per compile",
+    )
+    bench_serve.add_argument(
+        "--seed", type=int, default=0, help="base seed for the query generator"
+    )
+    bench_serve.add_argument(
+        "--url",
+        help="drive an already-running server instead of an in-process one "
+        "(cold numbers then reflect that server's current cache state)",
+    )
+    bench_serve.add_argument(
+        "--json", help="also write the measurements to this JSON file"
+    )
+
     warm = subparsers.add_parser(
         "warm-cache",
         help="precompile a corpus into a persistent on-disk cache",
@@ -248,6 +330,10 @@ def main(argv: list[str] | None = None) -> int:
             return _run_bench_exec(args)
         if args.command == "bench-diagram":
             return _run_bench_diagram(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "bench-serve":
+            return _run_bench_serve(args)
         if args.command == "warm-cache":
             return _run_warm_cache(args)
         return _run_study(args)
@@ -586,6 +672,104 @@ def _run_bench_diagram(args: argparse.Namespace) -> int:
             cold_elapsed / warm_elapsed, 1
         )
 
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"json:     wrote {args.json}")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import CompileServer, CompileService, ServiceConfig
+
+    service = CompileService(
+        simplify=not args.no_simplify,
+        disk_cache=args.disk_cache,
+        config=ServiceConfig(
+            lru_entries=args.lru_size,
+            max_pending=args.max_pending,
+            request_timeout=args.timeout,
+        ),
+    )
+
+    async def _serve() -> int:
+        server = CompileServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on {server.url}", flush=True)
+        if args.disk_cache:
+            print(f"disk cache: {args.disk_cache}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover — non-POSIX loop
+                signal.signal(signum, lambda *_: stop.set())
+        await stop.wait()
+        print("draining in-flight work...", flush=True)
+        drained = await server.stop(drain_timeout=args.timeout + 5.0)
+        print(
+            f"shutdown {'clean' if drained else 'with undrained work'}; "
+            f"served {sum(service.stats.requests.values())} requests",
+            flush=True,
+        )
+        return 0 if drained else 1
+
+    return asyncio.run(_serve())
+
+
+def _run_bench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .workloads import ServeBenchConfig, serve_bench
+
+    formats = _resolve_formats(args)
+    if formats is None:
+        return 2
+    config = ServeBenchConfig(
+        distinct=args.distinct,
+        warm_repeat=args.warm_repeat,
+        concurrency=args.concurrency,
+        burst_distinct=args.burst_distinct,
+        burst_duplicates=args.burst_duplicates,
+        schema=args.schema,
+        formats=formats,
+        seed=args.seed,
+    )
+    payload = serve_bench(config, url=args.url)
+    print(
+        f"server:   {'external ' + args.url if args.url else 'in-process (fresh)'}"
+    )
+    print(
+        f"workload: {payload['distinct_queries']} distinct queries "
+        f"(schema={args.schema}, formats={','.join(formats)}), "
+        f"concurrency {payload['concurrency']}"
+    )
+    for phase in ("cold", "warm", "burst"):
+        requests = payload[
+            "requests_cold" if phase == "cold"
+            else "requests_warm" if phase == "warm"
+            else "burst_requests"
+        ]
+        print(
+            f"{phase}:{' ' * (9 - len(phase) - 1)}{requests:5d} requests, "
+            f"p50 {payload[f'{phase}_p50_ms']:8.2f} ms, "
+            f"p99 {payload[f'{phase}_p99_ms']:8.2f} ms, "
+            f"{payload[f'{phase}_rps']:8.1f} req/s"
+        )
+    print(
+        f"speedup:  {payload['warm_speedup_p50']:.1f}x warm p50 vs cold "
+        "(response LRU vs full pipeline)"
+    )
+    print(
+        f"coalesce: {payload['burst_requests']} duplicate-heavy requests -> "
+        f"{payload['burst_unique_compiles']} unique compiles "
+        f"({payload['burst_unique_fraction']:.1%} unique, "
+        f"collapse {payload['coalesce_collapse']:.1f}x, "
+        f"{payload['coalesced_requests']} coalesced in flight)"
+    )
     if args.json:
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"json:     wrote {args.json}")

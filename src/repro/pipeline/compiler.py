@@ -275,6 +275,36 @@ class DiagramCompiler:
         self._stats.queries += 1
         return self._front_half(query)[3]
 
+    def canonical_key(
+        self, query: SelectQuery | str
+    ) -> tuple[str, tuple[tuple[str, str, str], ...]]:
+        """``(fingerprint, roles)`` — the identity of ``query``'s artifacts.
+
+        The pair is exactly what keys the back-half caches (diagram,
+        layout, render): two queries with equal canonical keys are served
+        identical artifacts.  The serving tier
+        (:mod:`repro.serve.service`) uses it to coalesce concurrent
+        requests for equivalent SQL onto one in-flight compile and to
+        address its bounded response LRU, without paying for diagram
+        construction up front.
+        """
+        _, _, _, fingerprint, roles = self._front_half(query)
+        return fingerprint, roles
+
+    def bound_caches(self, max_entries: int) -> bool:
+        """Clear the in-memory stage caches once they outgrow a bound.
+
+        Returns whether a clear happened.  Batch runs want unbounded stage
+        caches (the corpus is finite); a long-running server does not —
+        unbounded distinct traffic would grow them forever.  Clearing is
+        cheap to recover from when a persistent disk cache is configured:
+        the next compile of any evicted input warm-starts from disk.
+        """
+        if sum(self._cache.sizes().values()) <= max_entries:
+            return False
+        self._cache.clear()
+        return True
+
     # ------------------------------------------------------------------ #
     # stages
     # ------------------------------------------------------------------ #

@@ -1,0 +1,42 @@
+"""Long-running diagram-compilation serving tier.
+
+Everything below :mod:`repro.pipeline` is batch-oriented: a process starts,
+compiles a corpus, and exits.  This package turns those caches into a
+*serving* tier — a long-running asyncio HTTP server in front of
+:class:`~repro.pipeline.DiagramCompiler`:
+
+* :mod:`repro.serve.lru` — the bounded in-memory LRU that caps the serving
+  tier's memory no matter how many distinct queries traffic brings;
+* :mod:`repro.serve.service` — the transport-free application core:
+  request coalescing keyed by canonical fingerprint (N concurrent requests
+  for equivalent SQL await one compile), the LRU → stage-cache → disk-cache
+  hierarchy, overload shedding and structured counters;
+* :mod:`repro.serve.http` — the stdlib asyncio HTTP/1.1 layer exposing
+  ``/compile``, ``/fingerprint``, ``/render``, ``/stats`` and ``/healthz``
+  as JSON endpoints, plus graceful drain on shutdown.
+
+``repro serve`` runs the server; ``repro bench-serve``
+(:mod:`repro.workloads.servebench`) load-tests it.  See ``docs/serving.md``.
+"""
+
+from .http import CompileServer
+from .lru import LRUCache
+from .service import (
+    BadRequest,
+    CompileService,
+    ServedResponse,
+    ServiceConfig,
+    ServiceStats,
+    ServiceUnavailable,
+)
+
+__all__ = [
+    "BadRequest",
+    "CompileServer",
+    "CompileService",
+    "LRUCache",
+    "ServedResponse",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServiceUnavailable",
+]

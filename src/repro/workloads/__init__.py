@@ -15,10 +15,14 @@ from .execbench import (
     scaled_bench_database,
 )
 from .querygen import QueryGenConfig, QueryGenerator
+from .servebench import ServeBenchConfig, run_serve_bench, serve_bench
 
 __all__ = [
     "QueryGenConfig",
     "QueryGenerator",
+    "ServeBenchConfig",
+    "run_serve_bench",
+    "serve_bench",
     "beers_database",
     "beers_fig3_database",
     "chinook_bench_database",

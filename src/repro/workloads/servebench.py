@@ -1,0 +1,313 @@
+"""Load generator for the compile server: ``repro bench-serve``.
+
+Modeled on the SIGMOD programming-contest style of evaluation: a fixed
+query workload, sustained concurrent load, and the numbers that matter for
+a serving tier — sustained requests/second and p50/p99 latency — measured
+in three phases against one server:
+
+* **cold** — every request is a distinct, never-seen query: the full
+  pipeline runs per request (modulo stage-level sharing), so this is the
+  compile-bound floor;
+* **warm** — the same queries again (several rounds): every request is a
+  response-LRU hit, so this is the cache-bound ceiling;
+* **burst** — a duplicate-heavy mix (each query repeated many times, the
+  Fig. 24 equivalence trio riding along) fired concurrently at a part of
+  the keyspace the server has never seen: in-flight coalescing plus the
+  LRU must collapse the burst to one compile per distinct fingerprint.
+
+The in-process mode (default) starts a fresh :class:`CompileServer` on an
+ephemeral port inside the benchmark's own event loop, so "cold" is
+genuinely cold and the compile counters are deterministic functions of the
+workload — which is what lets ``benchmarks/compare.py`` gate them.
+``url=`` instead drives a server that is already running elsewhere (the
+end-to-end smoke test does this); against a warm external server the cold
+phase numbers describe that server's current state, not a cold start.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlparse
+
+from ..paper_queries import FIG24_VARIANTS
+from ..serve import CompileServer, CompileService, ServiceConfig
+from ..sql.formatter import format_query
+from .querygen import QueryGenConfig, QueryGenerator
+
+#: Seed offset separating the burst corpus from the cold/warm corpus —
+#: the burst must hit fingerprints the earlier phases never cached.
+_BURST_SEED_OFFSET = 100_000
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """Workload shape for one ``bench-serve`` run."""
+
+    distinct: int = 50
+    warm_repeat: int = 4
+    concurrency: int = 16
+    burst_distinct: int = 10
+    burst_duplicates: int = 20
+    schema: str = "sailors"
+    formats: tuple[str, ...] = ("svg", "dot", "text")
+    seed: int = 0
+    service: ServiceConfig = field(
+        default_factory=lambda: ServiceConfig(
+            max_pending=4096, request_timeout=60.0
+        )
+    )
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _corpus(config: ServeBenchConfig) -> tuple[list[str], list[str]]:
+    """(cold/warm distinct queries, burst distinct queries)."""
+    from ..catalog.builtin import beers_schema, sailors_schema
+    from ..catalog.chinook import chinook_schema
+
+    schemas = {
+        "sailors": sailors_schema,
+        "beers": beers_schema,
+        "chinook": chinook_schema,
+    }
+    generator = QueryGenerator(
+        schemas[config.schema](),
+        # Depth-4 blocks (the nesting the paper's unique-set example needs)
+        # keep one compile meaningfully more expensive than one LRU hit —
+        # the contrast the cold/warm phases exist to measure.
+        QueryGenConfig(max_depth=4, max_tables_per_block=3),
+    )
+    main = [
+        format_query(generator.generate(config.seed + index))
+        for index in range(max(1, config.distinct))
+    ]
+    burst = [
+        format_query(
+            generator.generate(config.seed + _BURST_SEED_OFFSET + index)
+        )
+        for index in range(max(1, config.burst_distinct))
+    ]
+    return main, burst
+
+
+class _Client:
+    """Minimal keep-alive HTTP/1.1 JSON client on asyncio streams."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def request(
+        self, method: str, path: str, document: dict | None = None
+    ) -> tuple[int, bytes]:
+        """``(status, raw body)`` — parsing is the *caller's* cost.
+
+        A load generator must not bill JSON decoding of multi-kilobyte
+        rendered outputs to the server's latency, so the hot path returns
+        the undecoded body and only error paths / stats readers parse it.
+        """
+        assert self._reader is not None and self._writer is not None
+        body = b"" if document is None else json.dumps(document).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Content-Type: application/json\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode("ascii") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        status = int(status_line.split()[1])
+        content_length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        raw = (
+            await self._reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return status, raw
+
+
+async def _measure(
+    host: str,
+    port: int,
+    jobs: list[tuple[str, dict]],
+    concurrency: int,
+) -> tuple[list[float], float]:
+    """Run ``jobs`` over ``concurrency`` keep-alive connections.
+
+    Returns (per-request latencies in seconds, wall-clock seconds).  Any
+    non-200 response fails the benchmark loudly — a load generator that
+    quietly counts errors as throughput measures nothing.
+    """
+    queue: asyncio.Queue[tuple[str, dict]] = asyncio.Queue()
+    for job in jobs:
+        queue.put_nowait(job)
+    latencies: list[float] = []
+
+    async def worker() -> None:
+        client = _Client(host, port)
+        await client.connect()
+        try:
+            while True:
+                try:
+                    path, document = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                start = time.perf_counter()
+                status, raw = await client.request("POST", path, document)
+                latencies.append(time.perf_counter() - start)
+                if status != 200:
+                    raise RuntimeError(
+                        f"{path} returned {status}: {raw.decode('utf-8', 'replace')}"
+                    )
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(min(concurrency, len(jobs)))))
+    elapsed = time.perf_counter() - started
+    return latencies, elapsed
+
+
+async def _get(host: str, port: int, path: str) -> dict:
+    client = _Client(host, port)
+    await client.connect()
+    try:
+        status, raw = await client.request("GET", path)
+        if status not in (200, 503):  # /healthz answers 503 while draining
+            raise RuntimeError(f"{path} returned {status}")
+        return json.loads(raw) if raw else {}
+    finally:
+        await client.close()
+
+
+def _phase_summary(latencies: list[float], elapsed: float) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "requests": len(latencies),
+        "p50_ms": round(_percentile(ordered, 0.50) * 1000, 3),
+        "p99_ms": round(_percentile(ordered, 0.99) * 1000, 3),
+        "rps": round(len(latencies) / elapsed, 1),
+    }
+
+
+async def run_serve_bench(
+    config: ServeBenchConfig, url: str | None = None
+) -> dict:
+    """Run the three phases; returns the ``bench-serve`` JSON payload."""
+    server: CompileServer | None = None
+    if url is None:
+        service = CompileService(config=config.service)
+        server = CompileServer(service, host="127.0.0.1", port=0)
+        await server.start()
+        host, port = server.host, server.port
+    else:
+        parsed = urlparse(url)
+        if parsed.hostname is None or parsed.port is None:
+            raise ValueError(f"need an explicit host:port in url, got {url!r}")
+        host, port = parsed.hostname, parsed.port
+
+    try:
+        main_queries, burst_queries = _corpus(config)
+        formats = list(config.formats)
+        compile_jobs = [
+            ("/compile", {"sql": sql, "formats": formats})
+            for sql in main_queries
+        ]
+
+        cold = _phase_summary(
+            *await _measure(host, port, compile_jobs, config.concurrency)
+        )
+        warm = _phase_summary(
+            *await _measure(
+                host, port, compile_jobs * config.warm_repeat, config.concurrency
+            )
+        )
+
+        # Duplicate-heavy burst over never-seen fingerprints; duplicates
+        # are adjacent so they are in flight *together* — that is what
+        # exercises in-flight coalescing rather than plain LRU hits.
+        burst_spellings = burst_queries + list(FIG24_VARIANTS)
+        burst_jobs = [
+            ("/compile", {"sql": sql, "formats": formats})
+            for sql in burst_spellings
+            for _ in range(config.burst_duplicates)
+        ]
+        before = await _get(host, port, "/stats")
+        burst = _phase_summary(
+            *await _measure(host, port, burst_jobs, config.concurrency)
+        )
+        after = await _get(host, port, "/stats")
+
+        burst_compiles = after["compiles"] - before["compiles"]
+        payload = {
+            "schema": config.schema,
+            "formats": formats,
+            "distinct_queries": len(main_queries),
+            "concurrency": config.concurrency,
+            "warm_repeat": config.warm_repeat,
+            "burst_distinct": len(burst_queries),
+            "burst_duplicates": config.burst_duplicates,
+            "requests_cold": cold["requests"],
+            "requests_warm": warm["requests"],
+            "cold_p50_ms": cold["p50_ms"],
+            "cold_p99_ms": cold["p99_ms"],
+            "cold_rps": cold["rps"],
+            "warm_p50_ms": warm["p50_ms"],
+            "warm_p99_ms": warm["p99_ms"],
+            "warm_rps": warm["rps"],
+            "warm_speedup_p50": round(
+                cold["p50_ms"] / max(warm["p50_ms"], 1e-9), 1
+            ),
+            "burst_requests": burst["requests"],
+            "burst_p50_ms": burst["p50_ms"],
+            "burst_p99_ms": burst["p99_ms"],
+            "burst_rps": burst["rps"],
+            "burst_unique_compiles": burst_compiles,
+            "burst_unique_fraction": round(
+                burst_compiles / burst["requests"], 4
+            ),
+            "coalesce_collapse": round(
+                burst["requests"] / max(burst_compiles, 1), 1
+            ),
+            "coalesced_requests": after["coalesced"] - before["coalesced"],
+            "server_stats": after,
+        }
+        return payload
+    finally:
+        if server is not None:
+            await server.stop(drain_timeout=10.0)
+
+
+def serve_bench(config: ServeBenchConfig, url: str | None = None) -> dict:
+    """Synchronous wrapper (the CLI / pytest entry point)."""
+    return asyncio.run(run_serve_bench(config, url=url))
