@@ -6,7 +6,7 @@ Usage::
     python benchmarks/compare.py fresh.json \
         [--baseline benchmarks/BENCH_diagram.json] [--tolerance 0.4]
 
-    PYTHONPATH=src python -m repro bench-exec --engine both --rows 110000 \
+    PYTHONPATH=src python -m repro bench-exec --engine all --rows 110000 \
         --json fresh-exec.json
     python benchmarks/compare.py fresh-exec.json \
         --baseline benchmarks/BENCH_executor.json
@@ -80,6 +80,8 @@ RATIO_KEYS = (
     "persistent_speedup_vs_cold",
     "columnar_speedup_cold",
     "columnar_speedup_warm",
+    "sql_vs_planned_cold",
+    "sql_vs_planned_warm",
     "warm_speedup_p50",
     "coalesce_collapse",
 )
@@ -97,6 +99,8 @@ INFO_KEYS = (
     "rows_warm_ms",
     "columnar_cold_ms",
     "columnar_warm_ms",
+    "sql_cold_ms",
+    "sql_warm_ms",
     "cold_p50_ms",
     "cold_p99_ms",
     "cold_rps",

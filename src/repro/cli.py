@@ -121,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="chinook",
         help="schema the query's tables belong to",
     )
+    explain.add_argument(
+        "--engine",
+        choices=("rows", "sql"),
+        default="rows",
+        help="backend whose explanation to print: the planned row pipeline "
+        "(the plan tree) or the SQL backend (plan tree plus the lowered "
+        "sqlite SQL and its bind parameters)",
+    )
 
     bench = subparsers.add_parser(
         "bench-exec",
@@ -128,10 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--engine",
-        choices=("rows", "columnar", "both"),
+        choices=("rows", "columnar", "sql", "both", "all"),
         default="rows",
         help="execution backend: planned row pipeline, vectorized columnar, "
-        "or both (measures the columnar speedup, cold and warm)",
+        "sqlite transpilation, both row engines (measures the columnar "
+        "speedup), or all three (also measures sql vs the row pipeline)",
     )
     bench.add_argument(
         "--scale", type=int, default=10,
@@ -406,7 +415,7 @@ def _run_trc(args: argparse.Namespace) -> int:
 def _run_explain(args: argparse.Namespace) -> int:
     from .catalog.builtin import beers_schema, sailors_schema
     from .catalog.chinook import chinook_schema
-    from .relational import Database, Executor
+    from .relational import Database, ExecutionMode, Executor
 
     schemas = {
         "chinook": chinook_schema,
@@ -415,7 +424,8 @@ def _run_explain(args: argparse.Namespace) -> int:
     }
     database = Database(schemas[args.schema]())
     query = parse(_read_sql(args.sql_file))
-    print(Executor(database).explain(query))
+    mode = ExecutionMode.SQL if args.engine == "sql" else ExecutionMode.PLANNED
+    print(Executor(database, mode=mode).explain(query))
     return 0
 
 
@@ -445,8 +455,15 @@ def _run_bench_exec(args: argparse.Namespace) -> int:
     engines = {
         "rows": (ExecutionMode.PLANNED,),
         "columnar": (ExecutionMode.COLUMNAR,),
+        "sql": (ExecutionMode.SQL,),
         "both": (ExecutionMode.PLANNED, ExecutionMode.COLUMNAR),
+        "all": (ExecutionMode.PLANNED, ExecutionMode.COLUMNAR, ExecutionMode.SQL),
     }[args.engine]
+    engine_names = {
+        ExecutionMode.PLANNED: "rows",
+        ExecutionMode.COLUMNAR: "columnar",
+        ExecutionMode.SQL: "sql",
+    }
 
     payload: dict = {
         "engine": args.engine,
@@ -457,7 +474,7 @@ def _run_bench_exec(args: argparse.Namespace) -> int:
     timings: dict[str, tuple[float, float]] = {}
     results: dict[str, list] = {}
     for mode in engines:
-        name = "rows" if mode is ExecutionMode.PLANNED else "columnar"
+        name = engine_names[mode]
         batch = BatchExecutor(database, mode=mode)
         start = time.perf_counter()
         cold_results = batch.run(queries)
@@ -478,24 +495,32 @@ def _run_bench_exec(args: argparse.Namespace) -> int:
         payload[f"{name}_warm_ms"] = round(warm * 1000, 1)
         payload["result_rows"] = total_rows
 
-    reference = results[
-        "rows" if ExecutionMode.PLANNED in engines else "columnar"
-    ]
-    if len(engines) == 2:
-        rows_cold, rows_warm = timings["rows"]
-        col_cold, col_warm = timings["columnar"]
+    reference_name = engine_names[engines[0]]
+    reference = results[reference_name]
+    if len(engines) > 1:
         identical = all(
-            a.as_set() == b.as_set()
-            for a, b in zip(results["rows"], results["columnar"])
+            all(a.as_set() == b.as_set() for a, b in zip(reference, results[name]))
+            for name in (engine_names[mode] for mode in engines[1:])
         )
-        payload["columnar_speedup_cold"] = round(rows_cold / col_cold, 1)
-        payload["columnar_speedup_warm"] = round(rows_warm / col_warm, 1)
         payload["results_identical"] = identical
-        print(
-            f"columnar: {rows_cold / col_cold:.1f}x cold, "
-            f"{rows_warm / col_warm:.1f}x warm vs the row pipeline "
-            f"(identical results: {'yes' if identical else 'NO'})"
-        )
+        rows_cold, rows_warm = timings["rows"]
+        if "columnar" in timings:
+            col_cold, col_warm = timings["columnar"]
+            payload["columnar_speedup_cold"] = round(rows_cold / col_cold, 1)
+            payload["columnar_speedup_warm"] = round(rows_warm / col_warm, 1)
+            print(
+                f"columnar: {rows_cold / col_cold:.1f}x cold, "
+                f"{rows_warm / col_warm:.1f}x warm vs the row pipeline"
+            )
+        if "sql" in timings:
+            sql_cold, sql_warm = timings["sql"]
+            payload["sql_vs_planned_cold"] = round(rows_cold / sql_cold, 1)
+            payload["sql_vs_planned_warm"] = round(rows_warm / sql_warm, 1)
+            print(
+                f"sql:      {rows_cold / sql_cold:.1f}x cold, "
+                f"{rows_warm / sql_warm:.1f}x warm vs the row pipeline"
+            )
+        print(f"identical results across engines: {'yes' if identical else 'NO'}")
         if not identical:
             return 1
 

@@ -1,6 +1,12 @@
-"""In-memory relational engine: database, planner, executor and aggregates."""
+"""In-memory relational engine: database, planner, pluggable execution backends."""
 
 from .aggregates import AGGREGATES, apply_aggregate
+from .backends import (
+    ExecutionBackend,
+    backend_for,
+    register_backend,
+    registered_modes,
+)
 from .batch import BatchExecutor, BatchStats, execute_batch
 from .columnar import ColumnarTable
 from .database import Database, Relation, Row
@@ -34,6 +40,7 @@ __all__ = [
     "ColumnarTable",
     "Database",
     "EngineError",
+    "ExecutionBackend",
     "KMVSketch",
     "ExecutionContext",
     "ExecutionMode",
@@ -50,10 +57,13 @@ __all__ = [
     "UnknownTableError",
     "Value",
     "apply_aggregate",
+    "backend_for",
     "compare",
     "execute",
     "execute_batch",
     "plan_query",
+    "register_backend",
+    "registered_modes",
     "stable_hash",
     "values_comparable",
 ]

@@ -1,0 +1,97 @@
+"""Pluggable execution backends: the registry every engine plugs into.
+
+Historically :class:`~repro.relational.executor.Executor` branched on
+:class:`~repro.relational.executor.ExecutionMode` with hard-coded imports.
+That worked for three engines but made every new engine a cross-cutting
+edit (executor, batch, CLI, benchmarks all knew the mode list).  This
+module inverts the dependency: an engine implements
+:class:`ExecutionBackend` and registers itself; the executor facade, the
+batch pipeline and the CLI all dispatch through :func:`backend_for` and
+never name a concrete engine again — the `lsst.daf.relation` pattern of
+compiling one plan vocabulary to interchangeable engines.
+
+Backends registered out of the box:
+
+* ``NAIVE`` / ``PLANNED`` — registered by :mod:`repro.relational.executor`
+  itself (the reference oracle and the row pipeline live there);
+* ``COLUMNAR`` — registered by :mod:`repro.relational.columnar`;
+* ``SQL`` — registered by :mod:`repro.relational.sqlbackend` (plan trees
+  lowered to parameterized SQL on stdlib ``sqlite3``).
+
+Registration is lazy and self-healing: modules that define a backend are
+imported on the first :func:`backend_for` miss, so ``backend_for`` works
+whether callers imported the package facade or a single module.
+"""
+
+from __future__ import annotations
+
+import abc
+from importlib import import_module
+from typing import TYPE_CHECKING
+
+from .errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sql.ast import SelectQuery
+    from .executor import ExecutionContext, ExecutionMode, ResultSet
+
+
+class ExecutionBackend(abc.ABC):
+    """One execution engine: turns queries into :class:`~.executor.ResultSet`.
+
+    Implementations set :attr:`mode` to the :class:`~.executor.ExecutionMode`
+    they serve and register an *instance* via :func:`register_backend`.
+    Backends share the caller's :class:`~.executor.ExecutionContext` — plans,
+    scans and memoized subqueries are engine-independent, and per-engine
+    state (columnar tables, the SQLite store) hangs off the context's
+    version-invalidated caches so database growth invalidates everything
+    uniformly.
+    """
+
+    #: The mode this backend serves (set by subclasses).
+    mode: "ExecutionMode"
+
+    @abc.abstractmethod
+    def execute(
+        self, query: "SelectQuery", context: "ExecutionContext"
+    ) -> "ResultSet":
+        """Execute ``query`` against ``context.database``."""
+
+    def explain(self, query: "SelectQuery", context: "ExecutionContext") -> str:
+        """EXPLAIN-style rendering; backends may append engine detail."""
+        return context.plan(query).describe()
+
+
+#: mode -> backend instance.  Keyed by the enum member itself.
+_REGISTRY: dict["ExecutionMode", ExecutionBackend] = {}
+
+#: mode value -> module that registers the backend on import.  Lets
+#: ``backend_for`` self-heal when a caller never imported the engine module.
+_LAZY_MODULES: dict[str, str] = {
+    "columnar": "repro.relational.columnar",
+    "sql": "repro.relational.sqlbackend",
+}
+
+
+def register_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Register ``backend`` for its mode (last registration wins)."""
+    _REGISTRY[backend.mode] = backend
+    return backend
+
+
+def backend_for(mode: "ExecutionMode") -> ExecutionBackend:
+    """The registered backend serving ``mode`` (importing it if needed)."""
+    backend = _REGISTRY.get(mode)
+    if backend is None:
+        module = _LAZY_MODULES.get(getattr(mode, "value", ""))
+        if module is not None:
+            import_module(module)
+            backend = _REGISTRY.get(mode)
+    if backend is None:
+        raise EngineError(f"no execution backend registered for {mode!r}")
+    return backend
+
+
+def registered_modes() -> tuple["ExecutionMode", ...]:
+    """Modes with a live backend (lazy ones appear once first used)."""
+    return tuple(_REGISTRY)

@@ -57,6 +57,9 @@ class BatchStats:
     scan_hits: int
     scan_misses: int
     result_disk_hits: int = 0
+    sql_store_builds: int = 0
+    sql_lower_hits: int = 0
+    sql_lower_misses: int = 0
 
     def describe(self) -> str:
         text = (
@@ -66,6 +69,13 @@ class BatchStats:
             f"{self.subquery_hits + self.subquery_misses} cached, "
             f"scans {self.scan_hits}/{self.scan_hits + self.scan_misses} cached"
         )
+        if self.sql_lower_hits or self.sql_lower_misses:
+            text += (
+                f", lowerings {self.sql_lower_hits}/"
+                f"{self.sql_lower_hits + self.sql_lower_misses} cached "
+                f"({self.sql_store_builds} sqlite load"
+                f"{'s' if self.sql_store_builds != 1 else ''})"
+            )
         if self.result_disk_hits:
             text += f", {self.result_disk_hits} results from disk"
         return text
@@ -132,9 +142,10 @@ class BatchExecutor:
         self._queries_run += 1
         disk = self._disk_cache
         if disk is None or self._mode is ExecutionMode.NAIVE:
-            # Planned and columnar results are interchangeable (identical
-            # sets by the differential contract), so both may serve from
-            # and populate the persistent store; the oracle stays live.
+            # Planned, columnar and SQL results are interchangeable
+            # (identical sets by the differential contract), so all three
+            # may serve from and populate the persistent store; the naive
+            # oracle stays live.
             return self._executor.execute(query)
         from ..pipeline.diskcache import stable_key_digest
 
@@ -180,6 +191,9 @@ class BatchExecutor:
             scan_hits=counters.scan_hits,
             scan_misses=counters.scan_misses,
             result_disk_hits=self._result_disk_hits,
+            sql_store_builds=counters.sql_store_builds,
+            sql_lower_hits=counters.sql_lower_hits,
+            sql_lower_misses=counters.sql_lower_misses,
         )
 
 

@@ -775,3 +775,30 @@ def run_block_columnar(
         return ResultSet(columns=plan.columns, rows=())
     rows = _run_node(plan.root, context, params).rows()
     return ResultSet(columns=plan.columns, rows=tuple(rows))
+
+
+# ---------------------------------------------------------------------- #
+# backend registration
+# ---------------------------------------------------------------------- #
+
+
+def _register() -> None:
+    # Imported here, not at module top: executor.py only references this
+    # module lazily, and resolving the enum inside the function keeps the
+    # import graph acyclic no matter which module loads first.
+    from .backends import ExecutionBackend, register_backend
+    from .executor import ExecutionMode
+
+    class _ColumnarBackend(ExecutionBackend):
+        """``COLUMNAR``: the vectorized engine behind the backend registry."""
+
+        mode = ExecutionMode.COLUMNAR
+
+        def execute(self, query, context: "ExecutionContext") -> "ResultSet":
+            context.refresh()
+            return run_block_columnar(context.plan(query), context)
+
+    register_backend(_ColumnarBackend())
+
+
+_register()

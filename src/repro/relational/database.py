@@ -122,6 +122,18 @@ class Database:
     def table_def(self, table_name: str) -> Table:
         return self.schema.table(table_name)
 
+    def dtypes(self, table_name: str) -> tuple[str, ...]:
+        """Per-column declared dtypes (``"int"``/``"float"``/``"str"``).
+
+        Ordered like :attr:`Relation.columns` — the contract backends rely
+        on for typed storage: the columnar engine's array choice and the
+        SQL backend's DDL generation + static type-family checks both read
+        the schema through this.
+        """
+        return tuple(
+            attribute.dtype for attribute in self.table_def(table_name).attributes
+        )
+
     def table_names(self) -> tuple[str, ...]:
         return tuple(relation.name for relation in self._relations.values())
 

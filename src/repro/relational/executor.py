@@ -1,34 +1,41 @@
 """SQL executor for the supported fragment.
 
 The executor evaluates a :class:`~repro.sql.ast.SelectQuery` over a
-:class:`~repro.relational.database.Database` and supports two execution
-modes (:class:`ExecutionMode`):
+:class:`~repro.relational.database.Database`.  :class:`ExecutionMode`
+selects one of the pluggable engines registered with
+:mod:`repro.relational.backends`:
 
 * ``PLANNED`` (default) — the query is compiled by
   :mod:`repro.relational.planner` into a logical plan (predicate pushdown,
   hash equi-joins, semi-/anti-joins for decorrelated ``[NOT] IN``, memoized
   correlated subqueries) and the plan is interpreted as a pipeline of
-  generators over flat row tuples.
+  generators over flat row tuples.  Lives in this module.
 * ``COLUMNAR`` — the same compiled plan interpreted batch-at-a-time by the
   vectorized backend (:mod:`repro.relational.columnar`): column-major
   storage, selection-vector filters, cardinality-chosen hash-join build
   sides.  Fastest on large databases; results are identical sets.
+* ``SQL`` — the plan lowered to parameterized SQL text and executed on
+  stdlib ``sqlite3`` (:mod:`repro.relational.sqlbackend`): an
+  *independent* engine implementation, which is what gives the
+  differential suite real adversarial power.
 * ``NAIVE`` — the original nested-loop reference semantics: the FROM clause
   enumerates the cartesian product of its tables; WHERE predicates are
   evaluated per combination, with correlated subqueries receiving the outer
   bindings through an environment of scopes.  This path is kept as the
   ground-truth oracle for differential testing of the planner.
 
-Both modes implement the same fragment: ``EXISTS`` / ``IN`` / ``ANY`` /
+All modes implement the same fragment: ``EXISTS`` / ``IN`` / ``ANY`` /
 ``ALL`` follow standard SQL semantics restricted to 2-valued logic (no
 NULLs); the result uses *set semantics* (duplicate result tuples are
 collapsed) unless the query carries aggregates, in which case GROUP BY
-semantics apply (Appendix C.3 extension).  The two modes return identical
-``as_set()`` results; only the tuple enumeration order may differ.
+semantics apply (Appendix C.3 extension).  The modes return identical
+``as_set()`` results; only the tuple enumeration order may differ
+(documented edge divergences live in ``docs/sql_backend.md``).
 
-Compiled plans, materialized scans and subquery results are cached on an
-:class:`ExecutionContext`, which can be shared across many queries — see
-:mod:`repro.relational.batch` for the batch pipeline built on top.
+Compiled plans, materialized scans, subquery results and per-backend state
+are cached on an :class:`ExecutionContext`, which can be shared across many
+queries — see :mod:`repro.relational.batch` for the batch pipeline built on
+top.
 """
 
 from __future__ import annotations
@@ -53,6 +60,7 @@ from ..sql.ast import (
     Star,
 )
 from .aggregates import apply_aggregate
+from .backends import ExecutionBackend, backend_for, register_backend
 from .database import Database, Relation, Row
 from .errors import (
     AmbiguousColumnError,
@@ -85,11 +93,12 @@ from .values import Value, compare
 
 
 class ExecutionMode(enum.Enum):
-    """How queries are evaluated: row pipelines, columnar or the oracle."""
+    """How queries are evaluated: rows, columnar, lowered SQL or the oracle."""
 
     NAIVE = "naive"
     PLANNED = "planned"
     COLUMNAR = "columnar"
+    SQL = "sql"
 
 
 @dataclass(frozen=True, slots=True)
@@ -149,6 +158,10 @@ class ExecutionStats:
     subquery_misses: int = 0
     scan_hits: int = 0
     scan_misses: int = 0
+    # SQL backend: in-memory store (re)builds and lowering-cache traffic.
+    sql_store_builds: int = 0
+    sql_lower_hits: int = 0
+    sql_lower_misses: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -158,6 +171,9 @@ class ExecutionStats:
             "subquery_misses": self.subquery_misses,
             "scan_hits": self.scan_hits,
             "scan_misses": self.scan_misses,
+            "sql_store_builds": self.sql_store_builds,
+            "sql_lower_hits": self.sql_lower_hits,
+            "sql_lower_misses": self.sql_lower_misses,
         }
 
 
@@ -168,7 +184,10 @@ class ExecutionContext:
     * **scan cache** — materialized row tuples per relation (invalidated by
       row-count changes, i.e. inserts);
     * **subquery cache** — subquery AST + parameter values → result, shared
-      across queries so a batch re-evaluates each distinct subquery once.
+      across queries so a batch re-evaluates each distinct subquery once;
+    * **backend state** — one opaque bucket per registered backend (the SQL
+      backend's sqlite store + lowering cache live here), invalidated with
+      the data-dependent caches on every version bump.
     """
 
     def __init__(self, database: Database) -> None:
@@ -179,6 +198,7 @@ class ExecutionContext:
         self._scans: dict[str, tuple[int, list[tuple[Value, ...]]]] = {}
         self._columnar: dict[str, tuple[int, "ColumnarTable"]] = {}
         self._subqueries: dict[tuple, object] = {}
+        self._backend_state: dict[str, object] = {}
         self._version = database.total_rows()
 
     def refresh(self) -> None:
@@ -198,6 +218,22 @@ class ExecutionContext:
             self._scans.clear()
             self._columnar.clear()
             self._subqueries.clear()
+            self._backend_state.clear()
+
+    def backend_state(self, key: str, factory: Callable[[], object]) -> object:
+        """Per-backend state bucket, dropped whenever the database grows.
+
+        ``key`` namespaces one backend (conventionally its mode value);
+        ``factory`` builds the initial state on first use after any
+        invalidation.  This is the generic version of the ``_columnar``
+        table cache: backends park anything derived from the data here and
+        inherit the same version-bump invalidation.
+        """
+        state = self._backend_state.get(key)
+        if state is None:
+            state = factory()
+            self._backend_state[key] = state
+        return state
 
     # -- plans ---------------------------------------------------------- #
 
@@ -261,7 +297,7 @@ class ExecutionContext:
         params: tuple[Value, ...],
         runner: Callable[..., list[tuple]] | None = None,
     ) -> bool:
-        key = (plan.ast, plan.param_shape, params, "exists")
+        key = (*plan.cache_key, params, "exists")
         cached = self._subqueries.get(key)
         if cached is None:
             self.stats.subquery_misses += 1
@@ -280,7 +316,7 @@ class ExecutionContext:
         params: tuple[Value, ...],
         runner: Callable[..., list[tuple]] | None = None,
     ) -> "_SubqueryValues":
-        key = (plan.ast, plan.param_shape, params, "values")
+        key = (*plan.cache_key, params, "values")
         cached = self._subqueries.get(key)
         if cached is None:
             self.stats.subquery_misses += 1
@@ -657,8 +693,11 @@ class _Environment:
 class Executor:
     """Evaluates queries of the supported fragment against a database.
 
-    ``mode`` selects the evaluation strategy; ``context`` lets callers share
-    plan/subquery caches across executors (see :class:`ExecutionContext`).
+    ``mode`` selects the evaluation strategy — dispatched through the
+    backend registry (:mod:`repro.relational.backends`), so any registered
+    engine is reachable here without this facade naming it; ``context``
+    lets callers share plan/subquery caches across executors (see
+    :class:`ExecutionContext`).
     """
 
     def __init__(
@@ -671,10 +710,6 @@ class Executor:
         self._mode = mode
         self._context = context if context is not None else ExecutionContext(database)
 
-    # ------------------------------------------------------------------ #
-    # public API
-    # ------------------------------------------------------------------ #
-
     @property
     def mode(self) -> ExecutionMode:
         return self._mode
@@ -685,19 +720,25 @@ class Executor:
 
     def execute(self, query: SelectQuery) -> ResultSet:
         """Execute ``query`` and return its result set."""
-        if self._mode is ExecutionMode.NAIVE:
-            return self._execute_block(query, _Environment())
-        self._context.refresh()
-        plan = self._context.plan(query)
-        if self._mode is ExecutionMode.COLUMNAR:
-            from .columnar import run_block_columnar
-
-            return run_block_columnar(plan, self._context)
-        return run_block(plan, self._context)
+        return backend_for(self._mode).execute(query, self._context)
 
     def explain(self, query: SelectQuery) -> str:
-        """EXPLAIN-style rendering of the plan the query would execute."""
-        return self._context.plan(query).describe()
+        """EXPLAIN-style rendering of the plan the query would execute.
+
+        Backends may append engine-specific detail — the SQL backend adds
+        the generated SQL text and its bound parameters.
+        """
+        return backend_for(self._mode).explain(query, self._context)
+
+
+class _NaiveInterpreter:
+    """The nested-loop reference semantics (the differential oracle)."""
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+
+    def execute(self, query: SelectQuery) -> ResultSet:
+        return self._execute_block(query, _Environment())
 
     # ------------------------------------------------------------------ #
     # block evaluation
@@ -904,6 +945,39 @@ class Executor:
         return result_columns(
             query, [self._db.relation(table.name) for table in query.from_tables]
         )
+
+
+# ---------------------------------------------------------------------- #
+# backend registrations — the oracle and the row pipeline live here;
+# COLUMNAR and SQL register themselves from their own modules.
+# ---------------------------------------------------------------------- #
+
+
+class _NaiveBackend(ExecutionBackend):
+    """``NAIVE``: nested loops over the AST with runtime scoping.
+
+    Deliberately bypasses every context cache (plans, scans, subqueries) —
+    the oracle must stay independent of the machinery it checks.
+    """
+
+    mode = ExecutionMode.NAIVE
+
+    def execute(self, query: SelectQuery, context: ExecutionContext) -> ResultSet:
+        return _NaiveInterpreter(context.database).execute(query)
+
+
+class _PlannedRowBackend(ExecutionBackend):
+    """``PLANNED``: compiled plans interpreted tuple-at-a-time."""
+
+    mode = ExecutionMode.PLANNED
+
+    def execute(self, query: SelectQuery, context: ExecutionContext) -> ResultSet:
+        context.refresh()
+        return run_block(context.plan(query), context)
+
+
+register_backend(_NaiveBackend())
+register_backend(_PlannedRowBackend())
 
 
 def execute(

@@ -32,6 +32,8 @@ from typing import TYPE_CHECKING, Union
 from .values import Value
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from typing import Iterator
+
     from ..sql.ast import SelectQuery
 
 
@@ -140,6 +142,17 @@ class PlanNode:
 
     def children(self) -> tuple["PlanNode", ...]:
         return ()
+
+    def walk(self) -> "Iterator[PlanNode]":
+        """Pre-order traversal of the subtree rooted at this node.
+
+        Used by backends that compile whole trees at once (the SQL
+        lowering) and by tests asserting plan shapes without caring about
+        nesting depth.
+        """
+        yield self
+        for child in self.children():
+            yield from child.walk()
 
     def label(self) -> str:
         return type(self).__name__
@@ -322,6 +335,17 @@ class BlockPlan:
     #: the same AST under different enclosing blocks share cached results
     #: only when their free columns collapsed onto parameters the same way.
     param_shape: tuple[int, ...] = ()
+
+    @property
+    def cache_key(self) -> tuple:
+        """Stable identity of this plan's *semantics* across recompiles.
+
+        ``BlockPlan`` itself is mutable (and therefore unhashable); the
+        frozen source AST plus the parameter shape pin down what the plan
+        computes.  Both the context's subquery memo and the SQL backend's
+        lowering cache key on this.
+        """
+        return (self.ast, self.param_shape)
 
     def describe(self) -> str:
         """EXPLAIN-style rendering of the whole block plan."""

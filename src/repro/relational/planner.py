@@ -31,6 +31,21 @@ innermost scope defining its alias (the last FROM entry when an alias is
 repeated), and an unqualified reference binds to the most recently bound
 table that has the column — i.e. the block's FROM list searched in reverse,
 then the enclosing blocks, innermost first.
+
+**Compilation contract.**  Every backend registered with
+:mod:`repro.relational.backends` interprets the plans produced here, so
+the planner guarantees (and the backends — including the SQL lowering,
+which compiles whole trees ahead of execution — rely on):
+
+* the root of every block is a :class:`~.plan.Distinct` or a
+  :class:`~.plan.Aggregate` — results carry set/GROUP BY semantics by
+  construction, never bags;
+* all column references are resolved to slots at plan time; no backend
+  performs name resolution (unknown/ambiguous names raise here, even when
+  tables are empty);
+* ``prechecks`` and :class:`~.plan.SemiJoin.param_exprs` are
+  row-independent (constants and enclosing-block parameters only);
+* a repeated alias in one FROM clause is rejected at plan time.
 """
 
 from __future__ import annotations

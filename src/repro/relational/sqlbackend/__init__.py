@@ -1,0 +1,27 @@
+"""``ExecutionMode.SQL``: plan trees lowered to SQL on stdlib ``sqlite3``.
+
+The fourth execution engine, and the only one that is not shared-ancestry
+Python: compiled :class:`~repro.relational.plan.BlockPlan` trees are
+lowered to parameterized SQL text (:mod:`.lower`) and executed against an
+in-memory SQLite mirror of the database (:mod:`.store`).  Importing this
+package registers the backend with :mod:`repro.relational.backends`;
+:func:`~repro.relational.backends.backend_for` imports it lazily on first
+use, so ``stdlib sqlite3`` is only touched when the mode is.
+
+See ``docs/sql_backend.md`` for the lowering rules, the caching story and
+the documented divergence policy (SQLite type affinity, static raise
+timing, float accumulation order).
+"""
+
+from .backend import SQLBackend, map_sqlite_error
+from .lower import LoweredQuery, lower_query
+from .store import SQLiteStore, table_ddl
+
+__all__ = [
+    "LoweredQuery",
+    "SQLBackend",
+    "SQLiteStore",
+    "lower_query",
+    "map_sqlite_error",
+    "table_ddl",
+]

@@ -1,0 +1,88 @@
+"""Schema DDL generation and bulk load into an in-memory SQLite database.
+
+One :class:`SQLiteStore` mirrors one
+:class:`~repro.relational.database.Database` snapshot: every relation gets
+a typed table (``int`` → ``INTEGER``, ``float`` → ``REAL``, ``str`` →
+``TEXT``) and its rows are bulk-loaded with one ``executemany`` per table.
+The store is cached on the :class:`~.executor.ExecutionContext` via
+``backend_state`` and therefore rebuilt whenever the database's row-count
+version bumps — the same invalidation discipline as ``ColumnarTable``.
+
+The declared types matter: SQLite's *type affinity* coerces values toward
+the column's declared type on insert (``"123"`` into an ``INTEGER`` column
+becomes the integer ``123``).  For schema-conforming data this is the
+identity; for schema-*violating* rows it is a documented divergence from
+the Python engines, which store whatever Python value the row carried
+(see ``docs/sql_backend.md``).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import TYPE_CHECKING
+
+from ..errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..database import Database
+
+#: schema dtype -> SQLite column type (drives type affinity on load).
+DDL_TYPES = {"int": "INTEGER", "float": "REAL", "str": "TEXT"}
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote an identifier, escaping embedded quotes."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def table_ddl(database: "Database", table_name: str) -> str:
+    """The CREATE TABLE statement for one relation of ``database``."""
+    relation = database.relation(table_name)
+    column_defs = ", ".join(
+        f"{quote_identifier(column)} {DDL_TYPES[dtype]}"
+        for column, dtype in zip(relation.columns, database.dtypes(table_name))
+    )
+    return f"CREATE TABLE {quote_identifier(relation.name)} ({column_defs})"
+
+
+class SQLiteStore:
+    """An in-memory ``sqlite3`` mirror of one database snapshot."""
+
+    def __init__(self, database: "Database") -> None:
+        self.version = database.total_rows()
+        self.rows_loaded = 0
+        self.connection = sqlite3.connect(":memory:")
+        try:
+            self._load(database)
+        except sqlite3.Error as error:  # pragma: no cover - load-time guard
+            self.close()
+            raise EngineError(f"sqlite load failed: {error}") from error
+        except OverflowError as error:
+            # sqlite integers are 64-bit; Python's are not.  Surface the
+            # same error class the execution path maps binding overflows to.
+            self.close()
+            raise EngineError(
+                f"value does not fit in sqlite's 64-bit integers: {error}"
+            ) from error
+
+    def _load(self, database: "Database") -> None:
+        cursor = self.connection.cursor()
+        for table_name in database.table_names():
+            relation = database.relation(table_name)
+            cursor.execute(table_ddl(database, table_name))
+            if not relation.rows:
+                continue
+            placeholders = ", ".join("?" for _ in relation.columns)
+            cursor.executemany(
+                f"INSERT INTO {quote_identifier(relation.name)} "
+                f"VALUES ({placeholders})",
+                (
+                    tuple(row[column] for column in relation.columns)
+                    for row in relation.rows
+                ),
+            )
+            self.rows_loaded += len(relation.rows)
+        self.connection.commit()
+
+    def close(self) -> None:
+        self.connection.close()

@@ -12,6 +12,7 @@ from .datagen import (
 from .execbench import (
     chinook_bench_database,
     chinook_join_workload,
+    chinook_mixed_workload,
     scaled_bench_database,
 )
 from .querygen import QueryGenConfig, QueryGenerator
@@ -28,6 +29,7 @@ __all__ = [
     "chinook_bench_database",
     "chinook_database",
     "chinook_join_workload",
+    "chinook_mixed_workload",
     "chinook_scaled_database",
     "generic_database",
     "sailors_database",

@@ -57,6 +57,47 @@ def chinook_join_workload(repeat: int = 1) -> list[SelectQuery]:
     return queries * repeat
 
 
+def chinook_mixed_workload() -> list[SelectQuery]:
+    """Joins plus subquery/aggregate shapes — the four-engine differential mix.
+
+    Where :func:`chinook_join_workload` stresses one plan family (3-table
+    equi-joins) for benchmarking, this batch covers the operator surface the
+    execution backends must agree on: semi-joins (``IN``), anti-joins
+    (``NOT IN``), correlated ``EXISTS``, quantified comparisons and
+    grouped/global aggregates.  It is the workload of the cross-engine
+    differential tests, run on scaled databases so every operator sees
+    real data volumes.
+    """
+    return [
+        parse(text)
+        for text in (
+            # Semi-join: tracks on at least one playlist.
+            "SELECT T.Name FROM Track T WHERE T.TrackId IN "
+            "(SELECT PT.TrackId FROM PlaylistTrack PT)",
+            # Anti-join: artists with no album.
+            "SELECT A.Name FROM Artist A WHERE A.ArtistId NOT IN "
+            "(SELECT AL.ArtistId FROM Album AL)",
+            # Correlated EXISTS: customers that bought anything.
+            "SELECT C.LastName FROM Customer C WHERE EXISTS "
+            "(SELECT I.InvoiceId FROM Invoice I "
+            "WHERE I.CustomerId = C.CustomerId)",
+            # Quantified comparison over a subquery.
+            "SELECT T.Name FROM Track T WHERE T.UnitPrice >= ALL "
+            "(SELECT T2.UnitPrice FROM Track T2)",
+            # Grouped aggregate over a join.
+            "SELECT AL.Title, COUNT(T.TrackId) FROM Album AL, Track T "
+            "WHERE AL.AlbumId = T.AlbumId GROUP BY AL.Title",
+            # Global aggregates.
+            "SELECT COUNT(IL.InvoiceLineId), SUM(IL.Quantity) "
+            "FROM InvoiceLine IL",
+            "SELECT MIN(T.Milliseconds), MAX(T.Milliseconds) FROM Track T",
+            # Join + filter + projection, the bread-and-butter shape.
+            "SELECT A.Name, AL.Title FROM Artist A, Album AL "
+            "WHERE A.ArtistId = AL.ArtistId AND AL.AlbumId <= 20",
+        )
+    ]
+
+
 def chinook_bench_database(scale: int = 10, seed: int = 3):
     """A Chinook database sized for executor benchmarks.
 

@@ -151,7 +151,8 @@ class TestExplainAndBenchExec:
             == 0
         )
         output = capsys.readouterr().out
-        assert "columnar:" in output and "identical results: yes" in output
+        assert "columnar:" in output
+        assert "identical results across engines: yes" in output
         import json
 
         payload = json.loads(json_path.read_text())
@@ -159,6 +160,42 @@ class TestExplainAndBenchExec:
         assert payload["workload_queries"] == 12
         assert payload["columnar_speedup_warm"] > 0
         assert payload["database_rows"] > 800
+
+    def test_bench_exec_all_engines_with_json(self, capsys, tmp_path):
+        json_path = tmp_path / "exec_all.json"
+        assert (
+            main(
+                [
+                    "bench-exec", "--engine", "all", "--rows", "900",
+                    "--repeat", "1", "--json", str(json_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "sql:" in output and "sqlite load" in output
+        assert "identical results across engines: yes" in output
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["results_identical"] is True
+        assert payload["sql_cold_ms"] > 0 and payload["sql_warm_ms"] > 0
+        assert payload["sql_vs_planned_warm"] > 0
+        assert payload["columnar_speedup_warm"] > 0
+
+    def test_explain_sql_engine(self, tmp_path, capsys):
+        path = tmp_path / "query.sql"
+        path.write_text(
+            "SELECT A.Name FROM Artist A, Album AL "
+            "WHERE A.ArtistId = AL.ArtistId AND AL.AlbumId > 3"
+        )
+        assert main(["explain", str(path), "--engine", "sql"]) == 0
+        output = capsys.readouterr().out
+        # Both halves: the plan tree and the lowered, parameterized SQL.
+        assert "HashJoin" in output
+        assert "-- lowered SQL (sqlite) --" in output
+        assert "SELECT DISTINCT * FROM (" in output
+        assert ":p0" in output and "--   :p0 = 3" in output
 
     def test_bench_diagram_smoke(self, capsys, tmp_path):
         # Tiny corpus keeps this a functional smoke test, not a benchmark.

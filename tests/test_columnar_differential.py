@@ -1,15 +1,25 @@
-"""Differential property tests: NAIVE vs planned rows vs COLUMNAR.
+"""Differential property tests: NAIVE vs PLANNED vs COLUMNAR vs SQL.
 
-This suite is the correctness contract of the columnar backend: every
+This suite is the correctness contract of the execution backends: every
 query — the paper's, and the querygen corpus — must return exactly the
-same ``as_set()`` under all three execution modes on the scaled datagen
+same ``as_set()`` under all four execution modes on the scaled datagen
 databases.  The naive oracle joins in at small scale (its nested loops
-are quadratic); the two planned backends are additionally compared on
+are quadratic); the planned backends are additionally compared on
 databases big enough that the columnar kernels and the NumPy join path
 actually engage.
+
+The SQL backend participates under the divergence policy of
+``docs/sql_backend.md``: its lowering typechecks comparisons *statically*,
+so it may raise :class:`TypeMismatchError` on queries where the Python
+engines, which only typecheck values that actually flow, return a result
+(empty tables, dead predicate branches).  The generic harness accepts
+exactly that one asymmetry; every other documented divergence is pinned by
+an explicit test in :class:`TestDocumentedDivergences` — none are skipped.
 """
 
 from __future__ import annotations
+
+import math
 
 import pytest
 
@@ -17,8 +27,10 @@ from repro.catalog import chinook_schema, sailors_schema
 from repro.paper_queries import FIG24_VARIANTS
 from repro.relational import (
     BatchExecutor,
+    Database,
     EngineError,
     ExecutionMode,
+    TypeMismatchError,
     execute,
 )
 from repro.sql import parse
@@ -26,44 +38,93 @@ from repro.workloads import (
     QueryGenConfig,
     QueryGenerator,
     chinook_join_workload,
+    chinook_mixed_workload,
     chinook_scaled_database,
     sailors_database,
     scaled_bench_database,
 )
 
-_THREE_MODES = (ExecutionMode.NAIVE, ExecutionMode.PLANNED, ExecutionMode.COLUMNAR)
+_ALL_MODES = (
+    ExecutionMode.NAIVE,
+    ExecutionMode.PLANNED,
+    ExecutionMode.COLUMNAR,
+    ExecutionMode.SQL,
+)
 
 
-def assert_three_modes_agree(sql_or_query, db):
-    """All three engines must agree on columns and the exact row set."""
+def _rows_match(expected, actual):
+    """Set equality, with an isclose fallback for float aggregates.
+
+    SQLite accumulates SUM/AVG in its own traversal order, so float
+    aggregates may differ from the Python engines in the last ulps
+    (documented divergence).  Exact equality is tried first; the tolerant
+    path only relaxes float-to-float comparisons.
+    """
+    if expected == actual:
+        return True
+    if len(expected) != len(actual):
+        return False
+
+    def canonical(rows):
+        return sorted(
+            rows, key=lambda row: tuple((value is None, str(value)) for value in row)
+        )
+
+    for expected_row, actual_row in zip(canonical(expected), canonical(actual)):
+        if len(expected_row) != len(actual_row):
+            return False
+        for left, right in zip(expected_row, actual_row):
+            if isinstance(left, float) and isinstance(right, float):
+                if not math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-12):
+                    return False
+            elif left != right:
+                return False
+    return True
+
+
+def assert_engines_agree(sql_or_query, db, modes=_ALL_MODES):
+    """All engines must agree on columns and the exact row set.
+
+    When the reference (first mode) raises, every engine must raise an
+    ``EngineError`` subclass.  When the reference returns, the SQL engine
+    alone may instead raise :class:`TypeMismatchError` — its lowering
+    rejects ill-typed comparisons statically, before any rows flow
+    (the one generic allowance of the divergence policy).
+    """
     query = parse(sql_or_query) if isinstance(sql_or_query, str) else sql_or_query
     results = {}
-    for mode in _THREE_MODES:
+    for mode in modes:
         try:
             results[mode] = execute(query, db, mode=mode)
         except EngineError as error:
             results[mode] = type(error)
-    reference = results[ExecutionMode.NAIVE]
-    for mode in (ExecutionMode.PLANNED, ExecutionMode.COLUMNAR):
+    reference = results[modes[0]]
+    for mode in modes[1:]:
         outcome = results[mode]
         if isinstance(reference, type):
             assert outcome is reference or (
                 isinstance(outcome, type) and issubclass(outcome, EngineError)
             ), f"{mode}: expected an engine error, got {outcome}"
             continue
-        assert not isinstance(outcome, type), f"{mode} raised, naive did not"
+        if isinstance(outcome, type):
+            assert mode is ExecutionMode.SQL and issubclass(
+                outcome, TypeMismatchError
+            ), f"{mode} raised {outcome}, reference did not"
+            continue
         assert outcome.columns == reference.columns
-        assert outcome.as_set() == reference.as_set()
+        assert _rows_match(reference.as_set(), outcome.as_set()), (
+            f"{mode} disagrees with {modes[0]}"
+        )
         assert len(outcome.as_set()) == len(outcome.rows)  # set semantics
     return reference
 
 
 # --------------------------------------------------------------------- #
-# three engines on the scaled datagen databases (naive-feasible sizes)
+# four engines on the scaled datagen databases (naive-feasible sizes)
 # --------------------------------------------------------------------- #
 
 
-class TestThreeEngineDifferential:
+class TestFourEngineDifferential:
     @pytest.fixture(scope="class")
     def scaled_small(self):
         # Small enough that the naive oracle's nested loops stay fast
@@ -76,7 +137,7 @@ class TestThreeEngineDifferential:
         generator = QueryGenerator(
             chinook_schema(), QueryGenConfig(max_depth=2, max_tables_per_block=2)
         )
-        assert_three_modes_agree(generator.generate(seed), scaled_small)
+        assert_engines_agree(generator.generate(seed), scaled_small)
 
     @pytest.mark.parametrize("seed", range(20))
     def test_querygen_corpus_on_sailors(self, seed):
@@ -84,39 +145,52 @@ class TestThreeEngineDifferential:
             sailors_schema(), QueryGenConfig(max_depth=3, max_tables_per_block=2)
         )
         db = sailors_database(n_sailors=5, n_boats=4, n_reservations=10)
-        assert_three_modes_agree(generator.generate(seed + 500), db)
+        assert_engines_agree(generator.generate(seed + 500), db)
 
     @pytest.mark.parametrize("variant", range(len(FIG24_VARIANTS)))
     def test_fig24_variants(self, variant):
         db = sailors_database()
-        result = assert_three_modes_agree(FIG24_VARIANTS[variant], db)
-        reference = assert_three_modes_agree(FIG24_VARIANTS[0], db)
+        result = assert_engines_agree(FIG24_VARIANTS[variant], db)
+        reference = assert_engines_agree(FIG24_VARIANTS[0], db)
         assert result.as_set() == reference.as_set()
 
     def test_execbench_workload_on_scaled_small(self, scaled_small):
         for query in chinook_join_workload():
-            assert_three_modes_agree(query, scaled_small)
+            assert_engines_agree(query, scaled_small)
+
+    def test_mixed_workload_on_scaled_small(self, scaled_small):
+        # Semi/anti-joins, correlated EXISTS, quantified comparisons and
+        # grouped/global aggregates — the operator surface of the backends.
+        for query in chinook_mixed_workload():
+            assert_engines_agree(query, scaled_small)
 
 
 # --------------------------------------------------------------------- #
-# rows vs columnar where the vectorized kernels actually engage
+# planned engines where the vectorized kernels actually engage
 # --------------------------------------------------------------------- #
 
 
-class TestPlannedVsColumnarAtScale:
+class TestPlannedEnginesAtScale:
     @pytest.fixture(scope="class")
     def scaled_large(self):
         return scaled_bench_database(total_rows=30_000, skew=1.1)
 
     def test_execbench_workload_identical(self, scaled_large):
-        rows = BatchExecutor(scaled_large, mode=ExecutionMode.PLANNED)
-        columnar = BatchExecutor(scaled_large, mode=ExecutionMode.COLUMNAR)
+        batches = {
+            mode: BatchExecutor(scaled_large, mode=mode)
+            for mode in (
+                ExecutionMode.PLANNED,
+                ExecutionMode.COLUMNAR,
+                ExecutionMode.SQL,
+            )
+        }
         workload = chinook_join_workload(repeat=2)  # exercises warm caches
-        for rows_result, columnar_result in zip(
-            rows.run(workload), columnar.run(workload)
-        ):
-            assert rows_result.columns == columnar_result.columns
-            assert rows_result.as_set() == columnar_result.as_set()
+        runs = {mode: batch.run(workload) for mode, batch in batches.items()}
+        reference = runs[ExecutionMode.PLANNED]
+        for mode in (ExecutionMode.COLUMNAR, ExecutionMode.SQL):
+            for planned_result, other_result in zip(reference, runs[mode]):
+                assert planned_result.columns == other_result.columns
+                assert planned_result.as_set() == other_result.as_set()
 
     @pytest.mark.parametrize("seed", range(12))
     def test_querygen_corpus_identical(self, scaled_large, seed):
@@ -124,12 +198,83 @@ class TestPlannedVsColumnarAtScale:
         # kernels are what's under test; correlated subqueries would make
         # the *row* engine re-evaluate per distinct outer value (tens of
         # thousands here) and dominate the suite's runtime.  Nested blocks
-        # are covered three-ways at naive-feasible sizes above.
+        # are covered four-ways at naive-feasible sizes above.
         generator = QueryGenerator(
             chinook_schema(), QueryGenConfig(max_depth=0, max_tables_per_block=3)
         )
         query = generator.generate(seed + 9000)
-        planned = execute(query, scaled_large, mode=ExecutionMode.PLANNED)
-        columnar = execute(query, scaled_large, mode=ExecutionMode.COLUMNAR)
-        assert planned.columns == columnar.columns
-        assert planned.as_set() == columnar.as_set()
+        assert_engines_agree(
+            query,
+            scaled_large,
+            modes=(ExecutionMode.PLANNED, ExecutionMode.COLUMNAR, ExecutionMode.SQL),
+        )
+
+
+# --------------------------------------------------------------------- #
+# documented divergences, pinned explicitly (docs/sql_backend.md)
+# --------------------------------------------------------------------- #
+
+
+class TestDocumentedDivergences:
+    """Each documented divergence is asserted, not skipped.
+
+    The SQL backend is *supposed* to behave differently here; these tests
+    fail if it silently starts agreeing (the docs would then be stale) or
+    drifts to some third behaviour.
+    """
+
+    def test_static_raise_on_empty_tables(self):
+        # Ill-typed comparison over an EMPTY table: the Python engines
+        # never evaluate the predicate (no rows flow) and return the empty
+        # result; the SQL lowering typechecks statically and raises.
+        db = Database(sailors_schema())
+        query = parse("SELECT S.sname FROM Sailor S WHERE S.sname = 3")
+        for mode in (
+            ExecutionMode.NAIVE,
+            ExecutionMode.PLANNED,
+            ExecutionMode.COLUMNAR,
+        ):
+            assert execute(query, db, mode=mode).rows == ()
+        with pytest.raises(TypeMismatchError):
+            execute(query, db, mode=ExecutionMode.SQL)
+
+    def test_static_raise_matches_runtime_raise_on_data(self):
+        # ...but on non-empty data all four engines raise the same class:
+        # the static check only *moves* the error earlier, it never
+        # invents one the runtime engines wouldn't eventually hit.
+        db = sailors_database(n_sailors=3, n_boats=2, n_reservations=2)
+        query = parse("SELECT S.sname FROM Sailor S WHERE S.sname = 3")
+        for mode in _ALL_MODES:
+            with pytest.raises(TypeMismatchError):
+                execute(query, db, mode=mode)
+
+    def test_int_beyond_64_bits(self):
+        # SQLite integers are 64-bit; Python's are unbounded.  The huge
+        # literal matches nothing in every engine, but SQL cannot even
+        # bind it and raises EngineError instead of returning empty.
+        db = sailors_database(n_sailors=3, n_boats=2, n_reservations=2)
+        query = parse(
+            "SELECT S.sname FROM Sailor S WHERE S.sid = "
+            "99999999999999999999999999"
+        )
+        for mode in (
+            ExecutionMode.NAIVE,
+            ExecutionMode.PLANNED,
+            ExecutionMode.COLUMNAR,
+        ):
+            assert execute(query, db, mode=mode).rows == ()
+        with pytest.raises(EngineError, match="64-bit"):
+            execute(query, db, mode=ExecutionMode.SQL)
+
+    def test_row_order_not_part_of_the_contract(self):
+        # Engines agree on the *set*; enumeration order is unspecified.
+        # (This is why every comparison in this suite goes through
+        # as_set() — asserting it keeps the suite honest about that.)
+        db = chinook_scaled_database(total_rows=150, seed=13, skew=1.2)
+        query = parse(
+            "SELECT T.Name FROM Track T, Album AL "
+            "WHERE T.AlbumId = AL.AlbumId AND AL.AlbumId <= 10"
+        )
+        results = {mode: execute(query, db, mode=mode) for mode in _ALL_MODES}
+        sets = {mode: result.as_set() for mode, result in results.items()}
+        assert len(set(map(frozenset, sets.values()))) == 1
