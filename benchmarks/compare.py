@@ -61,6 +61,8 @@ EXACT_KEYS = (
     "database_rows",
     "skew",
     "result_rows",
+    "topk_engine",
+    "topk_queries",
     # serving tier (seeded workload against a fresh in-process server)
     "distinct_queries",
     "concurrency",
@@ -82,12 +84,14 @@ RATIO_KEYS = (
     "columnar_speedup_warm",
     "sql_vs_planned_cold",
     "sql_vs_planned_warm",
+    "topk_vs_full_cold",
+    "topk_vs_full_warm",
     "warm_speedup_p50",
     "coalesce_collapse",
 )
 
 #: Keys that must be truthy whenever both sides carry them.
-FLAG_KEYS = ("parallel_identical", "results_identical")
+FLAG_KEYS = ("parallel_identical", "results_identical", "topk_results_consistent")
 
 #: Machine-dependent measurements: reported, never gated.
 INFO_KEYS = (
@@ -101,6 +105,15 @@ INFO_KEYS = (
     "columnar_warm_ms",
     "sql_cold_ms",
     "sql_warm_ms",
+    "topk_cold_ms",
+    "topk_warm_ms",
+    "topk_full_cold_ms",
+    "topk_full_warm_ms",
+    # environment provenance: self-describing artifacts, never comparable
+    # across machines
+    "python_version",
+    "sqlite_version",
+    "numpy_version",
     "cold_p50_ms",
     "cold_p99_ms",
     "cold_rps",

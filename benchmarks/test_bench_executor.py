@@ -26,6 +26,7 @@ from repro.relational import columnar as _columnar
 from repro.workloads import (
     chinook_bench_database,
     chinook_join_workload,
+    chinook_topk_workload,
     scaled_bench_database,
 )
 
@@ -50,6 +51,13 @@ _REQUIRED_COLUMNAR_SPEEDUP = 5.0 if _columnar._np is not None else 3.0
 #: machines (and slow sqlite builds) don't flake the suite.
 _REQUIRED_SQL_WARM_SPEEDUP = 1.5
 _REQUIRED_SQL_COLD_SPEEDUP = 1.2
+
+#: Top-k vs full-materialization bar at k=10 on the scaled workload
+#: (columnar engine, steady state).  Measured ~13x with NumPy's
+#: argpartition kernels and ~3.4x on the pure-Python bounded-heap
+#: fallback; the bars sit at the ISSUE's 5x acceptance point and a
+#: conservative 2x respectively.
+_REQUIRED_TOPK_SPEEDUP = 5.0 if _columnar._np is not None else 2.0
 
 
 def _run_mode(mode: ExecutionMode) -> tuple[float, list]:
@@ -191,6 +199,63 @@ def test_perf_sql_vs_planned_on_scaled_workload():
     # Cold carries the one-off DDL + bulk load + lowering; it must still
     # beat the row pipeline, just not by the warm margin.
     assert cold_speedup >= _REQUIRED_SQL_COLD_SPEEDUP
+
+
+def test_perf_topk_beats_full_materialization_at_k10():
+    """Ranked LIMIT 10 >= 5x its full-sort twin, holding ~k rows, not ~n."""
+    database = scaled_bench_database()
+    triples = chinook_topk_workload(ks=(10,))
+    ranked = [ranked_query for _, ranked_query, _ in triples]
+    full = [full_query for _, _, full_query in triples]
+
+    batch_ranked = BatchExecutor(database, mode=ExecutionMode.COLUMNAR)
+    batch_full = BatchExecutor(database, mode=ExecutionMode.COLUMNAR)
+    ranked_results = batch_ranked.run(ranked)  # cold pass warms the caches
+    full_results = batch_full.run(full)
+
+    def steady_state(batch: BatchExecutor, queries: list) -> float:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            batch.run(queries)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    topk_elapsed = steady_state(batch_ranked, ranked)
+    full_elapsed = steady_state(batch_full, full)
+    speedup = full_elapsed / topk_elapsed
+    stats = batch_ranked.context.stats
+    full_rows = max(len(result) for result in full_results)
+
+    print_block(
+        "Executor: top-k vs full materialization (scaled zipfian Chinook)",
+        "\n".join(
+            (
+                f"database       {database.total_rows()} rows (zipf skew 1.1)",
+                f"workload       {len(ranked)} ranked queries, k=10",
+                f"topk           {topk_elapsed * 1000:9.1f} ms warm",
+                f"full sort      {full_elapsed * 1000:9.1f} ms warm "
+                f"({full_rows} rows in the largest result)",
+                f"speedup        {speedup:9.1f}x  "
+                f"(required: >= {_REQUIRED_TOPK_SPEEDUP:.0f}x)",
+                f"peak resident  {stats.topk_held_rows} rows in any TopK",
+            )
+        ),
+    )
+
+    # Every ranked result is a k-prefix of its full twin's row set.
+    for (k, _, _), ranked_result, full_result in zip(
+        triples, ranked_results, full_results
+    ):
+        assert ranked_result.as_set() <= full_result.as_set()
+        assert len(ranked_result) == min(k, len(full_result))
+    # The non-materialization guarantee: the engine consumed every join
+    # output row (ordering needs all candidates) yet never held more than
+    # a small candidate prefix — orders of magnitude below the full
+    # result it replaced.
+    assert stats.topk_input_rows > full_rows
+    assert stats.topk_held_rows < full_rows / 10
+    assert speedup >= _REQUIRED_TOPK_SPEEDUP
 
 
 def test_perf_planned_throughput(benchmark):

@@ -95,7 +95,7 @@ def ensure_unique_aliases(tree: LogicTree) -> LogicTree:
     new_root = _unique_aliases_node(tree.root, used)
     if new_root is tree.root:
         return tree
-    return LogicTree(new_root, tree.select_items, tree.group_by)
+    return tree.with_root(new_root)
 
 
 def _unique_aliases_node(node: LogicTreeNode, used: set[str]) -> LogicTreeNode:
@@ -155,7 +155,7 @@ def flatten_existential_blocks(tree: LogicTree) -> LogicTree:
     new_root = _flatten_node(tree.root)
     if new_root is tree.root:
         return tree
-    return LogicTree(new_root, tree.select_items, tree.group_by)
+    return tree.with_root(new_root)
 
 
 def _flatten_node(node: LogicTreeNode) -> LogicTreeNode:
@@ -243,6 +243,19 @@ class _DiagramBuilder:
             f"depth.{self._table_id_of_alias[alias]}": str(depth)
             for alias, depth in self._depth_of_alias.items()
         }
+        # Machine-readable order spec (the τ/LIMIT rows are presentation):
+        # lets diagram consumers and the inverse reader recover the ranking.
+        if self._tree.distinct:
+            metadata["distinct"] = "1"
+        if self._tree.order_by:
+            metadata["order_by"] = ",".join(
+                f"{item.column}{' desc' if item.descending else ''}"
+                for item in self._tree.order_by
+            )
+        if self._tree.limit is not None:
+            metadata["limit"] = str(self._tree.limit)
+            if self._tree.offset:
+                metadata["offset"] = str(self._tree.offset)
         return Diagram(
             tables=tuple(tables),
             boxes=tuple(boxes),
@@ -328,6 +341,28 @@ class _DiagramBuilder:
     # ---------------------------- SELECT ------------------------------ #
 
     def _build_select(self) -> tuple[list[TableRow], list[Edge]]:
+        rows, edges = self._build_select_items()
+        # Ranked-output notation: ORDER BY keys become τ rows of the SELECT
+        # table (reading "sorted by", direction arrows matching SQL), and
+        # LIMIT/OFFSET one cutoff row — output modifiers, so they live on
+        # the output table rather than on any data table.
+        for position, item in enumerate(self._tree.order_by):
+            arrow = "↓" if item.descending else "↑"
+            label = f"{item.column.column} {arrow}"
+            rows.append(
+                TableRow(kind=RowKind.ORDER_BY, label=label, key=f"order:{position}")
+            )
+            if isinstance(item.column, ColumnRef):
+                alias = self._resolve_alias(item.column, self._tree.root)
+                self._ensure_attribute_row(alias, item.column.column)
+        if self._tree.limit is not None:
+            label = f"LIMIT {self._tree.limit}"
+            if self._tree.offset:
+                label += f" OFFSET {self._tree.offset}"
+            rows.append(TableRow(kind=RowKind.LIMIT, label=label, key="limit"))
+        return rows, edges
+
+    def _build_select_items(self) -> tuple[list[TableRow], list[Edge]]:
         rows: list[TableRow] = []
         edges: list[Edge] = []
         for item in self._tree.select_items:

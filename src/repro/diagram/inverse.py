@@ -29,7 +29,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import product
 
-from ..sql.ast import AggregateCall, ColumnRef, Comparison, FLIPPED_OP, Literal, TableRef
+from ..sql.ast import (
+    AggregateCall,
+    ColumnRef,
+    Comparison,
+    FLIPPED_OP,
+    Literal,
+    OrderItem,
+    TableRef,
+)
 from ..logic.logic_tree import LogicTree, LogicTreeNode, Quantifier
 from ..sql.lexer import tokenize
 from ..sql.tokens import TokenType
@@ -302,7 +310,38 @@ def recover_logic_tree(diagram: Diagram) -> LogicTree:
         for row in table.rows
         if row.kind is RowKind.GROUP_BY
     )
-    return LogicTree(root=root, select_items=select_items, group_by=group_by)
+    distinct, order_by, limit, offset = _recover_order_spec(diagram)
+    return LogicTree(
+        root=root,
+        select_items=select_items,
+        group_by=group_by,
+        distinct=distinct,
+        order_by=order_by,
+        limit=limit,
+        offset=offset,
+    )
+
+
+def _recover_order_spec(
+    diagram: Diagram,
+) -> tuple[bool, tuple[OrderItem, ...], int | None, int]:
+    """Read the ranked-output modifiers back out of the diagram metadata."""
+    metadata = diagram.metadata
+    distinct = metadata.get("distinct") == "1"
+    order_by: list[OrderItem] = []
+    for part in filter(None, metadata.get("order_by", "").split(",")):
+        text = part.strip()
+        descending = text.lower().endswith(" desc")
+        if descending:
+            text = text[: -len(" desc")].strip()
+        if "." in text:
+            column = ColumnRef(*text.split(".", 1))
+        else:
+            column = ColumnRef(None, text)
+        order_by.append(OrderItem(column=column, descending=descending))
+    limit = int(metadata["limit"]) if "limit" in metadata else None
+    offset = int(metadata.get("offset", "0"))
+    return distinct, tuple(order_by), limit, offset
 
 
 def _parse_selection_row(table_id: str, label: str) -> Comparison:
@@ -323,6 +362,8 @@ def _recover_select_items(diagram: Diagram) -> tuple[ColumnRef | AggregateCall, 
     items: list[ColumnRef | AggregateCall] = []
     select_edges = {edge.source.row_key: edge for edge in diagram.select_edges()}
     for row in diagram.select_table.rows:
+        if row.kind in (RowKind.ORDER_BY, RowKind.LIMIT):
+            continue  # ranked-output annotations, not output attributes
         edge = select_edges.get(row.key.lower()) or select_edges.get(row.key)
         if row.kind is RowKind.AGGREGATE:
             func, _, rest = row.label.partition("(")

@@ -29,6 +29,8 @@ class RowKind(enum.Enum):
     SELECTION = "selection"  # yellow background: ``Name = 'AC/DC'``
     GROUP_BY = "group_by"  # gray background (Appendix C.3 extension)
     AGGREGATE = "aggregate"  # e.g. ``SUM(Quantity)``
+    ORDER_BY = "order_by"  # ranked-output key on the SELECT table: ``Name ↓``
+    LIMIT = "limit"  # ranked-output cutoff on the SELECT table: ``LIMIT 10``
 
 
 class BoxStyle(enum.Enum):

@@ -20,7 +20,14 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from ..sql.ast import AggregateCall, ColumnRef, Comparison, FrozenNode, TableRef
+from ..sql.ast import (
+    AggregateCall,
+    ColumnRef,
+    Comparison,
+    FrozenNode,
+    OrderItem,
+    TableRef,
+)
 from ..sql.ast import _hash_field
 
 
@@ -108,14 +115,40 @@ class LogicTreeNode(FrozenNode):
 
 @dataclass(frozen=True, slots=True)
 class LogicTree(FrozenNode):
-    """A complete Logic Tree: the root block plus its SELECT/GROUP BY lists."""
+    """A complete Logic Tree: the root block plus its SELECT/GROUP BY lists.
+
+    The ranked-access extension adds the root block's output modifiers:
+    ``distinct`` (SELECT DISTINCT), ``order_by`` / ``limit`` / ``offset``
+    (ORDER BY ... LIMIT k OFFSET m).  They are properties of the whole
+    query's output, so they live here rather than on any tree node.
+    """
 
     root: LogicTreeNode
     select_items: tuple[ColumnRef | AggregateCall, ...]
     group_by: tuple[ColumnRef, ...] = field(default=())
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int = 0
     _hash: int | None = _hash_field()
     __hash__ = FrozenNode.__hash__
 
+    def with_root(self, root: LogicTreeNode) -> "LogicTree":
+        """Rebuild the tree around a new root, keeping every output modifier.
+
+        Tree-rewriting passes (alias renaming, ∃-flattening, ∄∄ → ∀∃) must
+        use this instead of positional construction so ORDER BY / LIMIT /
+        DISTINCT survive the rewrite.
+        """
+        return LogicTree(
+            root,
+            self.select_items,
+            self.group_by,
+            self.distinct,
+            self.order_by,
+            self.limit,
+            self.offset,
+        )
 
     def iter_nodes(self) -> Iterator[LogicTreeNode]:
         return self.root.iter_nodes()
@@ -170,10 +203,16 @@ class LogicTree(FrozenNode):
         """Readable multi-line description, mirroring Fig. 5 of the paper."""
         lines: list[str] = []
         select = ", ".join(str(item) for item in self.select_items)
-        lines.append(f"SELECT: {select}")
+        lines.append(f"SELECT{' DISTINCT' if self.distinct else ''}: {select}")
         if self.group_by:
             grouped = ", ".join(str(column) for column in self.group_by)
             lines.append(f"GROUP BY: {grouped}")
+        if self.order_by:
+            ordered = ", ".join(str(item) for item in self.order_by)
+            lines.append(f"ORDER BY: {ordered}")
+        if self.limit is not None:
+            suffix = f" OFFSET {self.offset}" if self.offset else ""
+            lines.append(f"LIMIT: {self.limit}{suffix}")
         for node, depth in self.iter_with_depth():
             lines.append("  " * depth + node.describe())
         return "\n".join(lines)

@@ -32,7 +32,7 @@ def simplify_logic_tree(tree: LogicTree) -> LogicTree:
     new_children = tuple(_simplify_node(child) for child in root.children)
     if new_children == root.children:
         return tree
-    return LogicTree(root.with_children(new_children), tree.select_items, tree.group_by)
+    return tree.with_root(root.with_children(new_children))
 
 
 def count_universal_nodes(tree: LogicTree) -> int:

@@ -38,7 +38,15 @@ def sql_to_logic_tree(query: SelectQuery) -> LogicTree:
         quantifier=None,
         children=tuple(_translate_subquery(p) for p in subqueries),
     )
-    return LogicTree(root=root, select_items=select_items, group_by=query.group_by)
+    return LogicTree(
+        root=root,
+        select_items=select_items,
+        group_by=query.group_by,
+        distinct=query.distinct,
+        order_by=query.order_by,
+        limit=query.limit,
+        offset=query.offset,
+    )
 
 
 def _split_where(query: SelectQuery) -> tuple[tuple[Comparison, ...], list]:
@@ -105,6 +113,10 @@ def _translate_block(
 ) -> LogicTreeNode:
     if query.group_by or query.has_aggregates:
         raise TranslationError("nested query blocks may not use GROUP BY or aggregates")
+    if query.order_by or query.limit is not None or query.distinct:
+        raise TranslationError(
+            "nested query blocks may not use ORDER BY, LIMIT or DISTINCT"
+        )
     comparisons, subqueries = _split_where(query)
     return LogicTreeNode(
         tables=query.from_tables,

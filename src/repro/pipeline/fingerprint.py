@@ -139,7 +139,21 @@ def _canonical_data(
     body = _serialize(tree.root, index, names, order)
     select = ",".join(_operand_repr(item, names) for item in tree.select_items)
     group_by = ",".join(_column_repr(column, names) for column in tree.group_by)
-    return f"select[{select}] group[{group_by}] {body}", names, index.table_of
+    head = f"select[{select}] group[{group_by}]"
+    # Ranked-output modifiers participate in dedup: the same body with a
+    # different ORDER BY / LIMIT / DISTINCT is a different query.  Queries
+    # without modifiers keep the historical form (and hence fingerprint).
+    if tree.distinct:
+        head += " distinct"
+    if tree.order_by:
+        keys = ",".join(
+            _column_repr(item.column, names) + (" desc" if item.descending else "")
+            for item in tree.order_by
+        )
+        head += f" order[{keys}]"
+    if tree.limit is not None:
+        head += f" limit[{tree.limit}+{tree.offset}]"
+    return f"{head} {body}", names, index.table_of
 
 
 def _needs_child_ordering(index: _TreeIndex) -> bool:
@@ -353,6 +367,11 @@ def _alias_ranks(tree: LogicTree, index: _TreeIndex) -> dict[str, int]:
         alias = index._owner(column, root)
         if alias is not None:
             outputs[alias].append(f"grp:{column.column.lower()}")
+    for item in tree.order_by:
+        alias = index._owner(item.column, root)
+        if alias is not None:
+            direction = "desc" if item.descending else "asc"
+            outputs[alias].append(f"ord:{item.column.column.lower()}:{direction}")
 
     initial: dict[str, object] = {
         alias: (

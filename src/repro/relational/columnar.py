@@ -37,6 +37,7 @@ row-at-a-time loop so errors surface exactly as in the oracle.
 
 from __future__ import annotations
 
+import heapq
 import operator
 import os
 from typing import TYPE_CHECKING, Sequence
@@ -68,8 +69,9 @@ from .plan import (
     Scan,
     SemiJoin,
     SubqueryPred,
+    TopK,
 )
-from .values import Value, compare
+from .values import OrderKey, Value, compare
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from .executor import ExecutionContext, ResultSet
@@ -715,6 +717,145 @@ def _run_aggregate(node: Aggregate, context: "ExecutionContext", params: tuple) 
     return Frame.from_rows(rows, len(node.items))
 
 
+def _topk_order(
+    child: Frame,
+    keys: tuple[ScalarExpr, ...],
+    descending: tuple[bool, ...],
+    params: tuple,
+    cutoff: int | None,
+    stats,
+):
+    """Indices of the top ``cutoff`` rows of ``child`` in rank order.
+
+    NumPy path (all key columns numeric arrays): partial selection via
+    ``argpartition`` on the primary key — descending keys are negated,
+    which is only well-defined for numbers, hence the numeric gate — then
+    a stable ``lexsort`` refinement over the surviving candidates.  With a
+    single key the ``cutoff`` partitioned rows are exactly the answer (any
+    subset of boundary ties is acceptable: full-key ties rank arbitrarily);
+    with compound keys the candidate set is widened to *every* row tied
+    with the partition boundary on the primary key, because a boundary tie
+    excluded by ``argpartition`` could still win on a secondary key.
+
+    Fallback (strings, mixed columns, no NumPy): a bounded heap of row
+    indices keyed by :class:`~.values.OrderKey` — the same comparator the
+    row engines rank with.
+    """
+    n = child.nrows
+    np_vectors = None
+    if _np is not None:
+        np_vectors = []
+        for expr in keys:
+            vec = child.vector(expr.slot) if type(expr) is Col else None
+            if vec is None or not isinstance(vec, _np.ndarray):
+                np_vectors = None
+                break
+            np_vectors.append(vec)
+    if np_vectors is not None:
+        adjusted = [
+            -vec if desc else vec for vec, desc in zip(np_vectors, descending)
+        ]
+        if cutoff is not None and cutoff < n:
+            primary = adjusted[0]
+            part = _np.argpartition(primary, cutoff - 1)[:cutoff]
+            if len(adjusted) == 1:
+                candidates = part
+            else:
+                boundary = primary[part].max()
+                candidates = _np.nonzero(primary <= boundary)[0]
+            stats.topk_held_rows = max(stats.topk_held_rows, len(candidates))
+            ranked = candidates[
+                _np.lexsort(tuple(a[candidates] for a in reversed(adjusted)))
+            ]
+            return ranked[:cutoff]
+        stats.topk_held_rows = max(stats.topk_held_rows, n)
+        return _np.lexsort(tuple(reversed(adjusted)))
+
+    columns = [_expr_values(expr, child, params) for expr in keys]
+
+    def key_of(i: int) -> OrderKey:
+        return OrderKey(
+            tuple(
+                payload[i] if is_vector else payload
+                for is_vector, payload in columns
+            ),
+            descending,
+        )
+
+    if cutoff is not None and cutoff < n:
+        ranked = heapq.nsmallest(cutoff, range(n), key=key_of)
+    else:
+        ranked = sorted(range(n), key=key_of)
+    stats.topk_held_rows = max(stats.topk_held_rows, len(ranked))
+    return ranked
+
+
+def _run_topk_distinct(
+    node: TopK, child: Frame, cutoff: int | None, stats, params: tuple
+) -> Frame:
+    """Fused DISTINCT + TopK: rank raw vectors first, dedup candidates only.
+
+    Ranking happens on the child's (possibly NumPy) columns *before* any
+    tuple materialization; only the ranked candidate prefix is gathered
+    into rows and deduplicated in rank order.  The candidate count starts
+    at the cutoff and grows geometrically until the prefix holds enough
+    distinct rows: the top-``m`` prefix contains every row ranked strictly
+    below its boundary key, so once ``cutoff`` distinct rows emerge, any
+    distinct row left outside the prefix can at best tie the boundary —
+    and boundary ties are the final, arbitrarily-truncated group anyway.
+    """
+    n = child.nrows
+    width = len(child.slots)
+    offset = node.offset
+    if cutoff is None or cutoff >= n:
+        order = _topk_order(child, node.keys, node.descending, params, None, stats)
+        rows = list(dict.fromkeys(child.take(_as_index(order)).rows()))
+        return Frame.from_rows(rows[offset:cutoff], width)
+    m = cutoff
+    while True:
+        order = _topk_order(child, node.keys, node.descending, params, m, stats)
+        rows = list(dict.fromkeys(child.take(_as_index(order)).rows()))
+        if len(rows) >= cutoff or m >= n:
+            return Frame.from_rows(rows[offset:cutoff], width)
+        m = min(n, m * 8)
+
+
+def _run_topk(node: TopK, context: "ExecutionContext", params: tuple) -> Frame:
+    child = _run_node(node.child, context, params)
+    stats = context.stats
+    stats.topk_input_rows += child.nrows
+    limit, offset = node.limit, node.offset
+    cutoff = None if limit is None else limit + offset
+    if not node.keys:
+        # Bare LIMIT: batch operators have already produced the child
+        # frame, so "laziness" here is just a head slice of the selection
+        # vector — no payload column is gathered beyond the cutoff.
+        if cutoff is None:  # pragma: no cover - planner never emits this
+            return child
+        if node.distinct:
+            rows: list[tuple] = []
+            seen: set[tuple] = set()
+            for row in child.rows():
+                if row not in seen:
+                    seen.add(row)
+                    rows.append(row)
+                    if len(rows) >= cutoff:
+                        break
+            return Frame.from_rows(rows[offset:], len(child.slots))
+        stop = min(cutoff, child.nrows)
+        return child.take(_as_index(list(range(min(offset, stop), stop))))
+    if node.distinct:
+        return _run_topk_distinct(node, child, cutoff, stats, params)
+    order = _topk_order(
+        child, node.keys, node.descending, params, cutoff, stats
+    )
+    if cutoff is not None:
+        order = order[offset:cutoff]
+    elif offset:  # pragma: no cover - parser requires LIMIT before OFFSET
+        order = order[offset:]
+    return child.take(_as_index(order))
+
+
 _NODE_HANDLERS = {
     Scan: _run_scan,
     Filter: _run_filter,
@@ -725,6 +866,7 @@ _NODE_HANDLERS = {
     Project: _run_project,
     Distinct: _run_distinct,
     Aggregate: _run_aggregate,
+    TopK: _run_topk,
 }
 
 

@@ -41,7 +41,9 @@ top.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -85,11 +87,12 @@ from .plan import (
     Scan,
     SemiJoin,
     SubqueryPred,
+    TopK,
 )
 from .planner import Planner
 from .resolve import match_column as _match_column
-from .resolve import matches_group_key, result_columns
-from .values import Value, compare
+from .resolve import matches_group_key, order_key_position, result_columns
+from .values import OrderKey, Value, compare
 
 
 class ExecutionMode(enum.Enum):
@@ -162,6 +165,13 @@ class ExecutionStats:
     sql_store_builds: int = 0
     sql_lower_hits: int = 0
     sql_lower_misses: int = 0
+    # Ranked output: rows consumed by TopK operators vs the peak number of
+    # rows any single TopK kept resident.  The gap between the two is the
+    # non-materialization guarantee — a bounded-heap `LIMIT 10` over a
+    # million-row join shows topk_input_rows in the millions while
+    # topk_held_rows stays at 10.
+    topk_input_rows: int = 0
+    topk_held_rows: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -174,6 +184,8 @@ class ExecutionStats:
             "sql_store_builds": self.sql_store_builds,
             "sql_lower_hits": self.sql_lower_hits,
             "sql_lower_misses": self.sql_lower_misses,
+            "topk_input_rows": self.topk_input_rows,
+            "topk_held_rows": self.topk_held_rows,
         }
 
 
@@ -607,6 +619,135 @@ def _iter_aggregate(
         yield tuple(out)
 
 
+class _ReverseRanked:
+    """Heap entry whose ordering is reversed, turning heapq into a max-heap.
+
+    ``heap[0]`` is then the *worst* of the resident top-k rows — exactly the
+    row a strictly better candidate should evict.
+    """
+
+    __slots__ = ("key", "row")
+
+    def __init__(self, key: OrderKey, row: tuple) -> None:
+        self.key = key
+        self.row = row
+
+    def __lt__(self, other: "_ReverseRanked") -> bool:
+        return other.key < self.key
+
+
+def _topk_distinct_heap(
+    rows: Iterator[tuple], sort_key, cutoff: int, stats: ExecutionStats
+) -> list[tuple]:
+    """Top ``cutoff`` *distinct* rows holding at most ``cutoff`` resident.
+
+    Duplicates of resident rows are skipped via the ``members`` set; a
+    non-resident row evicts the current worst only when strictly better.
+    An evicted row's duplicates can never re-enter: the heap's worst key
+    only ever improves, and equal keys do not evict — so a duplicate of an
+    evicted row always compares >= the current worst and is skipped.  Rows
+    tied at the boundary are chosen arbitrarily, which only ever truncates
+    the final tie group of the output (the contract a LIMIT implies).
+    """
+    heap: list[_ReverseRanked] = []
+    members: set[tuple] = set()
+    for row in rows:
+        if row in members:
+            continue
+        key = sort_key(row)
+        if len(heap) < cutoff:
+            heapq.heappush(heap, _ReverseRanked(key, row))
+            members.add(row)
+        elif key < heap[0].key:
+            members.discard(heap[0].row)
+            heapq.heapreplace(heap, _ReverseRanked(key, row))
+            members.add(row)
+    stats.topk_held_rows = max(stats.topk_held_rows, len(heap))
+    return [entry.row for entry in sorted(heap, key=lambda entry: entry.key)]
+
+
+def _iter_topk(
+    node: TopK, context: ExecutionContext, params: tuple
+) -> Iterator[tuple]:
+    """Ranked output without materializing beyond the cutoff.
+
+    Three shapes, cheapest first:
+
+    * **key-less LIMIT** — a lazy ``islice`` over the child generator; the
+      pipeline stops pulling rows the moment the slice is satisfied, so a
+      ``LIMIT 10`` over a huge join does bounded work end to end;
+    * **heap strategy** — a bounded heap keyed by
+      :class:`~.values.OrderKey`: the whole child is consumed (ordering
+      needs every candidate) but at most ``limit + offset`` rows are ever
+      resident;
+    * **sort strategy** — full sort then slice, chosen by the planner when
+      the cutoff would swallow most of the estimated input anyway (or when
+      there is no LIMIT at all).
+
+    When the planner fused a Distinct into the node (``node.distinct``),
+    the key-less path dedups lazily (the seen-set is bounded by the
+    cutoff thanks to islice's early exit), the heap path runs the bounded
+    distinct heap of :func:`_topk_distinct_heap`, and the sort path dedups
+    before sorting.
+    """
+    stats = context.stats
+    child = _iter_node(node.child, context, params)
+
+    def counted(rows: Iterator[tuple]) -> Iterator[tuple]:
+        for row in rows:
+            stats.topk_input_rows += 1
+            yield row
+
+    def deduped(rows: Iterator[tuple]) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    limit, offset = node.limit, node.offset
+    if not node.keys:
+        if limit is None:  # pragma: no cover - planner never emits this
+            yield from counted(child)
+            return
+        # Early exit: islice stops advancing the child once exhausted, so
+        # upstream operators never produce rows beyond the cutoff.
+        source = counted(child)
+        if node.distinct:
+            source = deduped(source)
+        yield from islice(source, offset, offset + limit)
+        return
+
+    descending = node.descending
+    keys = node.keys
+
+    def sort_key(row: tuple) -> OrderKey:
+        return OrderKey(
+            tuple(_eval_expr(key, row, params) for key in keys), descending
+        )
+
+    if limit is not None and node.strategy == "heap":
+        cutoff = limit + offset
+        if node.distinct:
+            top = _topk_distinct_heap(counted(child), sort_key, cutoff, stats)
+        else:
+            top = heapq.nsmallest(cutoff, counted(child), key=sort_key)
+            stats.topk_held_rows = max(stats.topk_held_rows, len(top))
+        yield from top[offset:]
+        return
+    source = counted(child)
+    if node.distinct:
+        source = deduped(source)
+    rows = sorted(source, key=sort_key)
+    stats.topk_held_rows = max(stats.topk_held_rows, len(rows))
+    if limit is not None:
+        yield from rows[offset : offset + limit]
+    elif offset:  # pragma: no cover - parser requires LIMIT before OFFSET
+        yield from rows[offset:]
+    else:
+        yield from rows
+
+
 _NODE_HANDLERS = {
     Scan: _iter_scan,
     Filter: _iter_filter,
@@ -617,6 +758,7 @@ _NODE_HANDLERS = {
     Project: _iter_project,
     Distinct: _iter_distinct,
     Aggregate: _iter_aggregate,
+    TopK: _iter_topk,
 }
 
 
@@ -738,17 +880,60 @@ class _NaiveInterpreter:
         self._db = database
 
     def execute(self, query: SelectQuery) -> ResultSet:
-        return self._execute_block(query, _Environment())
+        return self._ranked(query, self._project_block(query, _Environment()))
 
     # ------------------------------------------------------------------ #
     # block evaluation
     # ------------------------------------------------------------------ #
 
     def _execute_block(self, query: SelectQuery, outer: _Environment) -> ResultSet:
+        # Nested blocks feed predicates; ranking them is meaningless under
+        # set semantics, and the planner rejects it too — the oracle must
+        # agree on what is an error, not only on what results are.
+        if query.order_by or query.limit is not None:
+            raise EngineError(
+                "nested query blocks may not use ORDER BY or LIMIT"
+            )
+        return self._project_block(query, outer)
+
+    def _project_block(self, query: SelectQuery, outer: _Environment) -> ResultSet:
         matches = list(self._matching_environments(query, outer))
         if query.has_aggregates or query.group_by:
             return self._project_grouped(query, matches)
         return self._project_plain(query, matches)
+
+    def _ranked(self, query: SelectQuery, result: ResultSet) -> ResultSet:
+        """ORDER BY / LIMIT reference semantics: one full sort, then slice.
+
+        Deliberately naive — no heap, no partial selection — so the
+        differential suite checks the optimized engines against the
+        simplest possible implementation of the same contract.
+        """
+        if not query.order_by and query.limit is None:
+            return result
+        rows = list(result.rows)
+        if query.order_by:
+            relations = [
+                self._db.relation(table.name) for table in query.from_tables
+            ]
+            descending = tuple(item.descending for item in query.order_by)
+            positions = []
+            for item in query.order_by:
+                position = order_key_position(item.column, query, relations)
+                if position is None:
+                    raise EngineError(
+                        f"ORDER BY column {item.column} must appear in the "
+                        "SELECT list"
+                    )
+                positions.append(position)
+            rows.sort(
+                key=lambda row: OrderKey(
+                    tuple(row[p] for p in positions), descending
+                )
+            )
+        if query.limit is not None:
+            rows = rows[query.offset : query.offset + query.limit]
+        return ResultSet(columns=result.columns, rows=tuple(rows))
 
     def _matching_environments(
         self, query: SelectQuery, outer: _Environment

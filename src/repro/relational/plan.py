@@ -286,6 +286,57 @@ class Distinct(PlanNode):
 
 
 @dataclass
+class TopK(PlanNode):
+    """Ranked output: ``ORDER BY keys`` then ``LIMIT limit OFFSET offset``.
+
+    ``keys[i]`` is evaluated in the child's output frame; ``descending[i]``
+    flips that key's sort direction.  ``limit is None`` means "sort only"
+    (a bare ORDER BY).  ``strategy`` is the planner's execution hint:
+    ``"heap"`` when ``limit + offset`` is small relative to the estimated
+    input (bounded-heap / partial-selection kernels pay off), ``"sort"``
+    when the cutoff swallows most of the input anyway and one full sort is
+    cheaper than heap maintenance.  Engines are free to ignore the hint —
+    it never changes the result, only how it is computed.
+
+    ``distinct`` fuses set-semantics dedup into the operator: the planner
+    replaces ``TopK(Distinct(x))`` with ``TopK(x, distinct=True)`` so
+    engines can rank *before* deduplicating — the bounded heap dedups only
+    among its resident rows, and the columnar kernel ranks raw column
+    vectors and dedups just the top candidates, instead of every engine
+    first materializing the full distinct result only to throw away all
+    but k rows of it.
+
+    Ties on the key tuple are broken arbitrarily (engines differ); the
+    differential harness compares ranked results up to tie groups.
+    """
+
+    child: PlanNode
+    keys: tuple[ScalarExpr, ...]
+    descending: tuple[bool, ...]
+    limit: int | None = None
+    offset: int = 0
+    strategy: str = "heap"  # "heap" | "sort"
+    distinct: bool = False
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{key}{' DESC' if desc else ''}"
+            for key, desc in zip(self.keys, self.descending)
+        )
+        text = f"TopK [{keys}]"
+        if self.distinct:
+            text += " distinct"
+        if self.limit is not None:
+            text += f" limit={self.limit}"
+            if self.offset:
+                text += f" offset={self.offset}"
+        return f"{text} strategy={self.strategy}"
+
+
+@dataclass
 class Aggregate(PlanNode):
     """GROUP BY + aggregate evaluation (Appendix C.3 extension).
 

@@ -37,9 +37,16 @@ then the enclosing blocks, innermost first.
 the planner guarantees (and the backends — including the SQL lowering,
 which compiles whole trees ahead of execution — rely on):
 
-* the root of every block is a :class:`~.plan.Distinct` or a
+* the root of every block is a :class:`~.plan.Distinct` or an
   :class:`~.plan.Aggregate` — results carry set/GROUP BY semantics by
-  construction, never bags;
+  construction, never bags — optionally wrapped in a single
+  :class:`~.plan.TopK` when the root block carries ORDER BY / LIMIT
+  (nested blocks never carry one; the translator rejects them and the
+  planner only ranks the block it was asked to rank);
+* TopK keys are slots of the block's *output* frame — ORDER BY is
+  restricted to selected columns, and for grouped queries the TopK is
+  fused directly onto the :class:`~.plan.Aggregate` output (group rows
+  are unique by construction, so no Distinct intervenes);
 * all column references are resolved to slots at plan time; no backend
   performs name resolution (unknown/ambiguous names raise here, even when
   tables are empty);
@@ -83,10 +90,11 @@ from .plan import (
     Scan,
     SemiJoin,
     SubqueryPred,
+    TopK,
 )
 
 from .resolve import match_column as _match_column
-from .resolve import matches_group_key, result_columns
+from .resolve import matches_group_key, order_key_position, result_columns
 from .stats import (
     EQUALITY_DEFAULT_SELECTIVITY,
     RANGE_SELECTIVITY,
@@ -173,6 +181,9 @@ class _BlockPlanner:
         self._param_exprs: list[ScalarExpr] = []
         self._param_labels: list[str] = []
         self._param_shape: list[int] = []
+        #: Estimated cardinality of the joined (pre-projection) result,
+        #: filled in by _join_order; drives the TopK heap-vs-sort hint.
+        self._estimated_rows = 0.0
 
     # ------------------------------------------------------------------ #
     # column resolution
@@ -329,6 +340,9 @@ class _BlockPlanner:
         """
         n = len(self._instances)
         if n == 1:
+            self._estimated_rows = self._estimated_scan_rows(
+                self._instances[0], scan_preds.get(0)
+            )
             return [0]
         base = {
             instance.from_index: self._estimated_scan_rows(
@@ -368,6 +382,7 @@ class _BlockPlanner:
             bound.add(best_choice)
             bound_size = max(best_size, 0.001)
             remaining.remove(best_choice)
+        self._estimated_rows = bound_size
         return order
 
     def compile(self) -> BlockPlan:
@@ -478,6 +493,7 @@ class _BlockPlanner:
             tree = Filter(tree, tuple(residual_subqueries))
 
         root, columns = self._projection(tree, bases)
+        root = self._ranked(root)
         return BlockPlan(
             ast=query,
             root=root,
@@ -519,6 +535,11 @@ class _BlockPlanner:
     # ------------------------------------------------------------------ #
 
     def _subquery_pred(self, predicate, bases: dict[int, int]) -> SubqueryPred:
+        sub = predicate.query
+        if sub.order_by or sub.limit is not None:
+            raise EngineError(
+                "nested query blocks may not use ORDER BY or LIMIT"
+            )
         child = _BlockPlanner(
             self._db,
             predicate.query,
@@ -638,6 +659,68 @@ class _BlockPlanner:
         return result_columns(
             self._query, [instance.relation for instance in self._instances]
         )
+
+    # ------------------------------------------------------------------ #
+    # ranked output (ORDER BY / LIMIT)
+    # ------------------------------------------------------------------ #
+
+    def _ranked(self, root: PlanNode) -> PlanNode:
+        """Wrap the projection root in a TopK when the block is ranked.
+
+        The keys are slots of the output frame, so the TopK composes with
+        any projection root: for grouped queries it sits directly on the
+        Aggregate (group rows are already unique — one half of the fusion
+        the planner docstring promises); for plain queries the Distinct is
+        *absorbed* into the TopK (``distinct=True``) — LIMIT counts
+        distinct rows, so dedup cannot be dropped, but fusing it lets the
+        engines rank first and dedup only candidate rows instead of
+        materializing the entire distinct result below the cutoff.  A bare
+        ``LIMIT k`` without ORDER BY compiles to a key-less TopK: pure
+        lazy slicing, which the row engine turns into early pipeline exit.
+        """
+        query = self._query
+        if not query.order_by and query.limit is None:
+            return root
+        distinct = isinstance(root, Distinct)
+        if distinct:
+            root = root.child
+        relations = [instance.relation for instance in self._instances]
+        keys: list[ScalarExpr] = []
+        descending: list[bool] = []
+        for item in query.order_by:
+            position = order_key_position(item.column, query, relations)
+            if position is None:
+                raise EngineError(
+                    f"ORDER BY column {item.column} must appear in the SELECT list"
+                )
+            keys.append(Col(position, label=str(item.column)))
+            descending.append(item.descending)
+        return TopK(
+            child=root,
+            keys=tuple(keys),
+            descending=tuple(descending),
+            limit=query.limit,
+            offset=query.offset,
+            strategy=self._topk_strategy(query.limit, query.offset, bool(keys)),
+            distinct=distinct,
+        )
+
+    def _topk_strategy(self, limit: int | None, offset: int, has_keys: bool) -> str:
+        """Heap vs sort-then-slice, guided by CatalogStatistics estimates.
+
+        A bounded heap pays off when the cutoff is small relative to the
+        estimated input (O(n log k) and O(k) live rows vs O(n log n) and a
+        full materialized sort); when the cutoff swallows a sizeable
+        fraction of the input, one sort is cheaper than heap maintenance.
+        Key-less TopKs are pure slices — "heap" marks them lazily bounded.
+        """
+        if limit is None:
+            return "sort"
+        if not has_keys:
+            return "heap"
+        cutoff = limit + offset
+        estimated = max(self._estimated_rows, 1.0)
+        return "heap" if cutoff * 8 <= estimated else "sort"
 
 
 def plan_query(query: SelectQuery, database: Database) -> BlockPlan:

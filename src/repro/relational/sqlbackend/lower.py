@@ -18,6 +18,8 @@ Node-by-node lowering rules (documented in ``docs/sql_backend.md``):
 ``AntiJoin``       ``WHERE probe NOT IN (subquery)`` (no NULLs → safe)
 ``Project``        ``SELECT e0 AS c0, ... FROM (child) t``
 ``Distinct``       ``SELECT DISTINCT * FROM (child) t``
+``TopK``           ``SELECT * FROM (child) t ORDER BY k1 [DESC], ...
+                   LIMIT :p OFFSET :q`` (both bound, never inlined)
 ``Aggregate``      ``SELECT items FROM (child) t [GROUP BY ...]``; a
                    *global* aggregate gains ``HAVING COUNT(*) > 0`` so an
                    empty input yields zero rows like the Python engines
@@ -64,6 +66,7 @@ from ..plan import (
     Scan,
     SemiJoin,
     SubqueryPred,
+    TopK,
 )
 from .store import quote_identifier
 
@@ -342,6 +345,33 @@ class _Lowering:
             f"SELECT DISTINCT * FROM ({child.sql}) AS {alias}", child.families
         )
 
+    def _topk(self, node: TopK, params: _Params) -> _Rel:
+        """Ranked output lowers to native ``ORDER BY … LIMIT``.
+
+        SQLite's own sorter implements the top-k (it switches to a bounded
+        sort when LIMIT is present), so the hint in ``node.strategy`` has
+        nothing to steer here.  LIMIT/OFFSET become bound parameters like
+        every other constant, keeping the SQL text cacheable across k.
+        A fused Distinct renders as ``SELECT DISTINCT *`` so SQLite's
+        sorter-based dedup composes with the bounded ORDER BY/LIMIT sort.
+        """
+        child = self._node(node.child, params)
+        alias = self._alias()
+        frame: _Frame = [(alias, child.families)]
+        select = "SELECT DISTINCT *" if node.distinct else "SELECT *"
+        sql = f"{select} FROM ({child.sql}) AS {alias}"
+        if node.keys:
+            keys = ", ".join(
+                f"{self._expr(key, frame, params)[0]}{' DESC' if desc else ''}"
+                for key, desc in zip(node.keys, node.descending)
+            )
+            sql += f" ORDER BY {keys}"
+        if node.limit is not None:
+            sql += f" LIMIT {self._bind(node.limit)}"
+            if node.offset:
+                sql += f" OFFSET {self._bind(node.offset)}"
+        return _Rel(sql, child.families)
+
     def _aggregate(self, node: Aggregate, params: _Params) -> _Rel:
         child = self._node(node.child, params)
         alias = self._alias()
@@ -409,6 +439,7 @@ _NODE_LOWERINGS: dict[type, Callable[[_Lowering, PlanNode, _Params], _Rel]] = {
     Project: _Lowering._project,
     Distinct: _Lowering._distinct,
     Aggregate: _Lowering._aggregate,
+    TopK: _Lowering._topk,
 }
 
 

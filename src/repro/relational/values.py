@@ -24,6 +24,48 @@ def values_comparable(left: Value, right: Value) -> bool:
     return isinstance(left, str) and isinstance(right, str)
 
 
+class OrderKey:
+    """A sort key over a tuple of values with per-position direction flags.
+
+    Strings cannot be negated, so descending order cannot be expressed by
+    flipping the value; instead this comparator reverses the ``<`` test at
+    every position whose ``descending`` flag is set.  Comparing keys whose
+    values are not in the same type family raises
+    :class:`~.errors.TypeMismatchError`, matching ``compare``'s semantics —
+    ranked output inherits the engine's no-silent-coercion rule.
+
+    Shared by the planned row engine (heap element key), the columnar
+    engine's pure-Python fallback and the naive oracle's full sort, so all
+    three rank by identical comparison semantics.
+    """
+
+    __slots__ = ("values", "descending")
+
+    def __init__(self, values: tuple[Value, ...], descending: tuple[bool, ...]):
+        self.values = values
+        self.descending = descending
+
+    def __lt__(self, other: "OrderKey") -> bool:
+        for mine, theirs, desc in zip(self.values, other.values, self.descending):
+            if not values_comparable(mine, theirs):
+                raise TypeMismatchError(
+                    f"cannot order {type(mine).__name__} against "
+                    f"{type(theirs).__name__} in the same ORDER BY key"
+                )
+            if mine == theirs:
+                continue
+            return (mine > theirs) if desc else (mine < theirs)
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OrderKey):
+            return NotImplemented
+        return self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+
 def compare(left: Value, op: str, right: Value) -> bool:
     """Apply a comparison operator from the supported fragment.
 

@@ -17,6 +17,8 @@ _ROW_PREFIX = {
     RowKind.SELECTION: "σ ",
     RowKind.GROUP_BY: "γ ",
     RowKind.AGGREGATE: "Σ ",
+    RowKind.ORDER_BY: "τ ",  # tau: the sort operator of relational algebra
+    RowKind.LIMIT: "",
 }
 
 

@@ -99,6 +99,8 @@ def _table_label(table: DiagramTable) -> str:
             bgcolor = f' BGCOLOR="{_SELECTION_BG}"'
         elif row.kind is RowKind.GROUP_BY:
             bgcolor = f' BGCOLOR="{_GROUP_BY_BG}"'
+        elif row.kind in (RowKind.ORDER_BY, RowKind.LIMIT):
+            bgcolor = ' BGCOLOR="#cce8ff"'
         rows.append(
             f'<TR><TD PORT="{_port(row.key)}"{bgcolor}>{_escape(row.label)}</TD></TR>'
         )

@@ -76,6 +76,8 @@ def _render_tables(diagram: Diagram, layout: Layout) -> list[str]:
                 fill = "#ffffaa"
             elif row.kind is RowKind.GROUP_BY:
                 fill = "#dddddd"
+            elif row.kind in (RowKind.ORDER_BY, RowKind.LIMIT):
+                fill = "#cce8ff"
             if fill:
                 parts.append(
                     f'<rect x="{placement.x}" y="{row_y}" width="{placement.width}" '

@@ -15,6 +15,7 @@ from .ast import (
     Exists,
     InSubquery,
     Literal,
+    OrderItem,
     Predicate,
     QuantifiedComparison,
     SelectItem,
@@ -36,6 +37,7 @@ __all__ = [
     "InSubquery",
     "Lexer",
     "Literal",
+    "OrderItem",
     "Parser",
     "Predicate",
     "QuantifiedComparison",

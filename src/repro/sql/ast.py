@@ -255,13 +255,36 @@ Predicate = Union[Comparison, Exists, InSubquery, QuantifiedComparison]
 
 
 @dataclass(frozen=True, slots=True)
+class OrderItem(FrozenNode):
+    """One ``ORDER BY`` key: a column reference plus its direction."""
+
+    column: ColumnRef
+    descending: bool = False
+    _hash: int | None = _hash_field()
+    __hash__ = FrozenNode.__hash__
+
+    def __str__(self) -> str:
+        return f"{self.column} DESC" if self.descending else str(self.column)
+
+
+@dataclass(frozen=True, slots=True)
 class SelectQuery(FrozenNode):
-    """A query block: SELECT list, FROM list and conjunctive WHERE clause."""
+    """A query block: SELECT list, FROM list and conjunctive WHERE clause.
+
+    The ranked-access extension adds ``distinct`` (``SELECT DISTINCT``),
+    ``order_by`` (``ORDER BY`` keys with direction), ``limit`` and ``offset``
+    (``LIMIT k [OFFSET m]``); all four are only legal on the *root* block —
+    the translator rejects them on nested blocks.
+    """
 
     select_items: tuple[SelectItem, ...]
     from_tables: tuple[TableRef, ...]
     where: tuple[Predicate, ...] = ()
     group_by: tuple[ColumnRef, ...] = field(default=())
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int = 0
     _hash: int | None = _hash_field()
     __hash__ = FrozenNode.__hash__
 
@@ -337,6 +360,7 @@ class SelectQuery(FrozenNode):
                 ):
                     columns.add(item.argument)
             columns.update(block.group_by)
+            columns.update(item.column for item in block.order_by)
             for predicate in block.where:
                 if isinstance(predicate, Comparison):
                     for side in (predicate.left, predicate.right):

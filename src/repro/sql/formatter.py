@@ -44,7 +44,8 @@ def format_inline(query: SelectQuery) -> str:
 
 def _format_block(query: SelectQuery, depth: int) -> list[str]:
     pad = _INDENT * depth
-    lines = [pad + "SELECT " + _format_select_list(query.select_items)]
+    head = "SELECT DISTINCT " if query.distinct else "SELECT "
+    lines = [pad + head + _format_select_list(query.select_items)]
     lines.append(pad + "FROM " + ", ".join(_format_table(t) for t in query.from_tables))
     if query.where:
         where_lines = _format_predicates(query.where, depth)
@@ -53,6 +54,14 @@ def _format_block(query: SelectQuery, depth: int) -> list[str]:
     if query.group_by:
         columns = ", ".join(str(col) for col in query.group_by)
         lines.append(pad + "GROUP BY " + columns)
+    if query.order_by:
+        keys = ", ".join(str(item) for item in query.order_by)
+        lines.append(pad + "ORDER BY " + keys)
+    if query.limit is not None:
+        clause = f"LIMIT {query.limit}"
+        if query.offset:
+            clause += f" OFFSET {query.offset}"
+        lines.append(pad + clause)
     return lines
 
 

@@ -9,12 +9,14 @@ The parser accepts:
 * ``WHERE`` clauses that are conjunctions (``AND``) of join predicates,
   selection predicates, ``[NOT] EXISTS``, ``[NOT] IN`` and ``op ANY/ALL``
   subqueries;
-* an optional ``GROUP BY`` clause (appendix extension).
+* an optional ``GROUP BY`` clause (appendix extension);
+* ``SELECT DISTINCT`` and the ranked-access clauses ``ORDER BY <col
+  [ASC|DESC], ...>`` and ``LIMIT k [OFFSET m]``.
 
 Constructs outside the fragment (``OR``, explicit ``JOIN``, ``HAVING``,
-``UNION``, ``ORDER BY``, ``DISTINCT``) raise :class:`UnsupportedSQLError`
-with a message naming the offending construct, so that callers can report a
-precise reason rather than a generic syntax error.
+``UNION``) raise :class:`UnsupportedSQLError` with a message naming the
+offending construct, so that callers can report a precise reason rather
+than a generic syntax error.
 
 The implementation is written for the cold path: it consumes the lexer's
 :class:`~repro.sql.lexer.TokenStream` parallel arrays directly (no token
@@ -32,6 +34,7 @@ from .ast import (
     Exists,
     InSubquery,
     Literal,
+    OrderItem,
     Predicate,
     QuantifiedComparison,
     SelectItem,
@@ -48,9 +51,7 @@ _UNSUPPORTED_KEYWORDS = {
     "JOIN": "explicit JOIN syntax is not supported; use implicit joins",
     "ON": "explicit JOIN syntax is not supported; use implicit joins",
     "HAVING": "HAVING is not supported",
-    "ORDER": "ORDER BY is not supported",
     "UNION": "UNION is not supported",
-    "DISTINCT": "DISTINCT is not supported (set semantics are assumed)",
 }
 
 _KEYWORD = TokenType.KEYWORD
@@ -142,6 +143,10 @@ class Parser:
 
     def _parse_select_query(self) -> SelectQuery:
         self._expect(_KEYWORD, "SELECT")
+        distinct = False
+        if self._type is _KEYWORD and self._value == "DISTINCT":
+            distinct = True
+            self._advance()
         if self._type is _KEYWORD:
             self._check_unsupported()
         select_items = self._parse_select_list()
@@ -156,6 +161,19 @@ class Parser:
             self._advance()
             self._expect(_KEYWORD, "BY")
             group_by = tuple(self._parse_group_by_list())
+        order_by: tuple[OrderItem, ...] = ()
+        if self._type is _KEYWORD and self._value == "ORDER":
+            self._advance()
+            self._expect(_KEYWORD, "BY")
+            order_by = tuple(self._parse_order_by_list())
+        limit: int | None = None
+        offset = 0
+        if self._type is _KEYWORD and self._value == "LIMIT":
+            self._advance()
+            limit = self._parse_nonnegative_int("LIMIT")
+            if self._type is _KEYWORD and self._value == "OFFSET":
+                self._advance()
+                offset = self._parse_nonnegative_int("OFFSET")
         if self._type is _KEYWORD:
             self._check_unsupported()
         return SelectQuery(
@@ -163,6 +181,10 @@ class Parser:
             from_tables=tuple(from_tables),
             where=where,
             group_by=group_by,
+            distinct=distinct,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
         )
 
     def _parse_select_list(self) -> list[SelectItem]:
@@ -255,6 +277,31 @@ class Parser:
             self._advance()
             columns.append(self._parse_column_ref())
         return columns
+
+    def _parse_order_by_list(self) -> list[OrderItem]:
+        items = [self._parse_order_item()]
+        while self._type is _COMMA:
+            self._advance()
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        column = self._parse_column_ref()
+        descending = False
+        if self._type is _KEYWORD and self._value in ("ASC", "DESC"):
+            descending = self._value == "DESC"
+            self._advance()
+        return OrderItem(column=column, descending=descending)
+
+    def _parse_nonnegative_int(self, clause: str) -> int:
+        if self._type is not _NUMBER or "." in self._value:
+            raise SQLSyntaxError(
+                f"{clause} requires a non-negative integer, found {self._value!r}",
+                self._positions[self._index],
+            )
+        value = int(self._value)
+        self._advance()
+        return value
 
     # ------------------------------------------------------------------ #
     # predicates

@@ -59,6 +59,10 @@ KEYWORDS = frozenset(
         "HAVING",
         "ORDER",
         "UNION",
+        "LIMIT",
+        "OFFSET",
+        "ASC",
+        "DESC",
     }
 )
 

@@ -13,6 +13,7 @@ from .execbench import (
     chinook_bench_database,
     chinook_join_workload,
     chinook_mixed_workload,
+    chinook_topk_workload,
     scaled_bench_database,
 )
 from .querygen import QueryGenConfig, QueryGenerator
@@ -31,6 +32,7 @@ __all__ = [
     "chinook_join_workload",
     "chinook_mixed_workload",
     "chinook_scaled_database",
+    "chinook_topk_workload",
     "generic_database",
     "sailors_database",
     "scaled_bench_database",

@@ -98,6 +98,42 @@ def chinook_mixed_workload() -> list[SelectQuery]:
     ]
 
 
+#: Ranked shapes of the top-k leg.  Each stresses a different piece of the
+#: TopK machinery on the scaled database: the fused DISTINCT + ORDER BY
+#: join exercises candidate-only dedup (rank raw columns, deduplicate just
+#: the prefix), the ranked scan isolates the partial-selection kernel with
+#: no join in the way, and the FK-join drill-down is the bread-and-butter
+#: "latest k events" query every real corpus is full of.
+_TOPK_SHAPES: tuple[str, ...] = (
+    "SELECT DISTINCT T.Milliseconds FROM Track T, Album AL "
+    "WHERE T.AlbumId = AL.AlbumId ORDER BY T.Milliseconds LIMIT {k}",
+    "SELECT T.Milliseconds FROM Track T ORDER BY T.Milliseconds DESC LIMIT {k}",
+    "SELECT IL.InvoiceLineId FROM InvoiceLine IL, Invoice I "
+    "WHERE IL.InvoiceId = I.InvoiceId ORDER BY IL.InvoiceLineId DESC LIMIT {k}",
+)
+
+
+def chinook_topk_workload(
+    ks: tuple[int, ...] = (1, 10, 100),
+) -> list[tuple[int, SelectQuery, SelectQuery]]:
+    """Ranked queries paired with their full-materialization counterparts.
+
+    Returns ``(k, ranked, full)`` triples: ``ranked`` carries ``ORDER BY …
+    LIMIT k`` and ``full`` is the identical query with the LIMIT stripped,
+    so timing both isolates what bounded enumeration saves over sorting
+    and materializing the complete result.  The ``topk_vs_full`` ratios in
+    ``repro bench-exec`` come from these pairs; the gated measurement is
+    the ``k=10`` subset on the 100k-row scaled database.
+    """
+    triples = []
+    for k in ks:
+        for shape in _TOPK_SHAPES:
+            ranked = shape.format(k=k)
+            full = ranked.rsplit(" LIMIT", 1)[0]
+            triples.append((k, parse(ranked), parse(full)))
+    return triples
+
+
 def chinook_bench_database(scale: int = 10, seed: int = 3):
     """A Chinook database sized for executor benchmarks.
 

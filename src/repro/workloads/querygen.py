@@ -24,6 +24,7 @@ from ..sql.ast import (
     Comparison,
     Exists,
     Literal,
+    OrderItem,
     Predicate,
     SelectQuery,
     TableRef,
@@ -42,6 +43,14 @@ class QueryGenConfig:
     string_pool: tuple[str, ...] = ("red", "green", "blue")
     int_pool: tuple[int, ...] = (1, 2, 3, 4, 5)
     float_pool: tuple[float, ...] = (0.5, 1.0, 2.5)
+    #: Ranked-output knobs, all applied to the ROOT block only (nested
+    #: blocks may not be ranked).  They default to 0 so that corpora
+    #: generated before ranked output existed keep byte-identical RNG
+    #: streams — the probabilities are checked before any random draw.
+    order_by_probability: float = 0.0
+    limit_probability: float = 0.0
+    limit_pool: tuple[int, ...] = (1, 3, 10)
+    offset_probability: float = 0.25
 
 
 @dataclass
@@ -122,16 +131,42 @@ class QueryGenerator:
                 )
                 predicates.append(Exists(query=child, negated=rng.random() < 0.7))
 
+        order_by: tuple[OrderItem, ...] = ()
+        limit: int | None = None
+        offset = 0
         if is_root:
             select_alias, select_table = local[0]
             select_column = rng.choice(select_table.attribute_names)
             select_items = (ColumnRef(select_alias, select_column),)
+            # ORDER BY is restricted to SELECT-list columns, so the ranked
+            # shapes reuse the projected column; a bare LIMIT (no ORDER BY)
+            # is also generated — its result is an arbitrary k-subset, which
+            # the differential harness checks as subset-of-full + count.
+            config = self.config
+            if config.order_by_probability > 0 and (
+                rng.random() < config.order_by_probability
+            ):
+                order_by = (
+                    OrderItem(
+                        column=ColumnRef(select_alias, select_column),
+                        descending=rng.random() < 0.5,
+                    ),
+                )
+            if config.limit_probability > 0 and (
+                rng.random() < config.limit_probability
+            ):
+                limit = rng.choice(config.limit_pool)
+                if rng.random() < config.offset_probability:
+                    offset = rng.randint(1, 3)
         else:
             select_items = (_star(),)
         return SelectQuery(
             select_items=select_items,
             from_tables=tuple(from_refs),
             where=tuple(predicates),
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
         )
 
     def _tables_joinable_with(self, others: list[tuple[str, Table]]) -> list[Table]:

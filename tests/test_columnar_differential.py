@@ -20,6 +20,7 @@ an explicit test in :class:`TestDocumentedDivergences` — none are skipped.
 from __future__ import annotations
 
 import math
+from itertools import groupby
 
 import pytest
 
@@ -33,7 +34,8 @@ from repro.relational import (
     TypeMismatchError,
     execute,
 )
-from repro.sql import parse
+from repro.relational.resolve import order_key_position
+from repro.sql import SelectQuery, parse
 from repro.workloads import (
     QueryGenConfig,
     QueryGenerator,
@@ -82,6 +84,69 @@ def _rows_match(expected, actual):
     return True
 
 
+def _tie_groups(rows, key_of):
+    """Maximal runs of equal ORDER BY key tuples, in rank order."""
+    return [(key, set(group)) for key, group in groupby(rows, key=key_of)]
+
+
+def _assert_ranked_agree(query, db, reference, outcome, mode):
+    """Ranked results agree up to ties (ties break arbitrarily per engine).
+
+    The sequence of ORDER BY key tuples must match exactly — rank order and
+    the limit cutoff are deterministic.  Within each tie group the row sets
+    must match too, EXCEPT in the final group of a limited query, where the
+    cutoff may slice an arbitrary subset of the tied rows; there only the
+    group's size is pinned.
+    """
+    relations = [db.relation(table.name) for table in query.from_tables]
+    slots = [
+        order_key_position(item.column, query, relations)
+        for item in query.order_by
+    ]
+
+    def key_of(row):
+        return tuple(row[slot] for slot in slots)
+
+    reference_groups = _tie_groups(reference.rows, key_of)
+    outcome_groups = _tie_groups(outcome.rows, key_of)
+    assert [key for key, _ in outcome_groups] == [
+        key for key, _ in reference_groups
+    ], f"{mode} ranks tie groups differently"
+    for index, ((key, expected), (_, actual)) in enumerate(
+        zip(reference_groups, outcome_groups)
+    ):
+        if query.limit is not None and index == len(reference_groups) - 1:
+            assert len(actual) == len(expected), (
+                f"{mode} cuts the boundary tie group {key} at a different size"
+            )
+        else:
+            assert actual == expected, (
+                f"{mode} disagrees within tie group {key}"
+            )
+
+
+def _assert_sliced_agree(query, db, outcome, mode):
+    """A bare ``LIMIT k`` returns an *arbitrary* k-subset of the full result.
+
+    Engines pick whichever rows their pipelines produce first, so the only
+    cross-engine contract is: every returned row belongs to the query's
+    unrestricted result, and the count is exactly what the slice allows.
+    """
+    unrestricted = SelectQuery(
+        select_items=query.select_items,
+        from_tables=query.from_tables,
+        where=query.where,
+        group_by=query.group_by,
+        distinct=query.distinct,
+    )
+    full = execute(unrestricted, db, mode=ExecutionMode.NAIVE)
+    expected = max(0, min(query.limit, len(full.rows) - query.offset))
+    assert len(outcome.rows) == expected, f"{mode} returns a wrong-size slice"
+    assert outcome.as_set() <= full.as_set(), (
+        f"{mode} returns rows outside the unrestricted result"
+    )
+
+
 def assert_engines_agree(sql_or_query, db, modes=_ALL_MODES):
     """All engines must agree on columns and the exact row set.
 
@@ -90,6 +155,10 @@ def assert_engines_agree(sql_or_query, db, modes=_ALL_MODES):
     alone may instead raise :class:`TypeMismatchError` — its lowering
     rejects ill-typed comparisons statically, before any rows flow
     (the one generic allowance of the divergence policy).
+
+    Ranked queries (ORDER BY present) are compared order-aware: equal tie
+    group sequences, set equality within complete tie groups.  A bare
+    ``LIMIT`` without ORDER BY is checked as an arbitrary-subset slice.
     """
     query = parse(sql_or_query) if isinstance(sql_or_query, str) else sql_or_query
     results = {}
@@ -112,10 +181,15 @@ def assert_engines_agree(sql_or_query, db, modes=_ALL_MODES):
             ), f"{mode} raised {outcome}, reference did not"
             continue
         assert outcome.columns == reference.columns
-        assert _rows_match(reference.as_set(), outcome.as_set()), (
-            f"{mode} disagrees with {modes[0]}"
-        )
         assert len(outcome.as_set()) == len(outcome.rows)  # set semantics
+        if query.order_by:
+            _assert_ranked_agree(query, db, reference, outcome, mode)
+        elif query.limit is not None:
+            _assert_sliced_agree(query, db, outcome, mode)
+        else:
+            assert _rows_match(reference.as_set(), outcome.as_set()), (
+                f"{mode} disagrees with {modes[0]}"
+            )
     return reference
 
 
@@ -163,6 +237,61 @@ class TestFourEngineDifferential:
         # grouped/global aggregates — the operator surface of the backends.
         for query in chinook_mixed_workload():
             assert_engines_agree(query, scaled_small)
+
+
+# --------------------------------------------------------------------- #
+# ranked output: ORDER BY / LIMIT shapes across all four engines
+# --------------------------------------------------------------------- #
+
+
+class TestRankedDifferential:
+    @pytest.fixture(scope="class")
+    def scaled_small(self):
+        return chinook_scaled_database(total_rows=150, seed=13, skew=1.2)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_ranked_querygen_corpus(self, scaled_small, seed):
+        # Heavy ranked knobs: most queries get ORDER BY, most get LIMIT,
+        # some get OFFSET, and the ORDER BY-less remainder exercises the
+        # bare-LIMIT arbitrary-subset contract.
+        generator = QueryGenerator(
+            chinook_schema(),
+            QueryGenConfig(
+                max_depth=1,
+                max_tables_per_block=2,
+                order_by_probability=0.75,
+                limit_probability=0.75,
+            ),
+        )
+        assert_engines_agree(generator.generate(seed + 3000), scaled_small)
+
+    def test_handwritten_ranked_shapes(self, scaled_small):
+        for sql in (
+            "SELECT T.TrackId FROM Track T ORDER BY T.TrackId DESC LIMIT 5",
+            "SELECT T.Name, T.Milliseconds FROM Track T "
+            "ORDER BY T.Milliseconds DESC, T.Name LIMIT 10 OFFSET 2",
+            "SELECT T.AlbumId, COUNT(*) FROM Track T GROUP BY T.AlbumId "
+            "ORDER BY T.AlbumId DESC LIMIT 3",
+            "SELECT DISTINCT T.GenreId FROM Track T ORDER BY T.GenreId LIMIT 4",
+            "SELECT T.Name FROM Track T, Album AL "
+            "WHERE T.AlbumId = AL.AlbumId ORDER BY T.Name LIMIT 6",
+            "SELECT T.TrackId FROM Track T LIMIT 7",
+            "SELECT T.TrackId FROM Track T ORDER BY T.TrackId LIMIT 1000000",
+        ):
+            assert_engines_agree(sql, scaled_small)
+
+    def test_nested_ranked_block_rejected_everywhere(self, scaled_small):
+        # The parser accepts ORDER BY/LIMIT in any block; planner, oracle
+        # and (via the planner) the lowered engines all reject non-root
+        # ranking, so the harness sees a unanimous EngineError.
+        query = parse(
+            "SELECT T.TrackId FROM Track T WHERE EXISTS "
+            "(SELECT * FROM Album AL WHERE AL.AlbumId = T.AlbumId "
+            "ORDER BY AL.AlbumId LIMIT 1)"
+        )
+        for mode in _ALL_MODES:
+            with pytest.raises(EngineError):
+                execute(query, scaled_small, mode=mode)
 
 
 # --------------------------------------------------------------------- #

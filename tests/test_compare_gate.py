@@ -121,6 +121,26 @@ def test_serve_metrics_are_wired_into_the_gate_tables():
         assert key in RATIO_KEYS
 
 
+def test_topk_metrics_are_wired_into_the_gate_tables():
+    from benchmarks.compare import FLAG_KEYS, INFO_KEYS
+
+    for key in ("topk_vs_full_cold", "topk_vs_full_warm"):
+        assert key in RATIO_KEYS
+    for key in ("topk_engine", "topk_queries"):
+        assert key in EXACT_KEYS
+    assert "topk_results_consistent" in FLAG_KEYS
+    for key in (
+        "topk_cold_ms",
+        "topk_warm_ms",
+        "topk_full_cold_ms",
+        "topk_full_warm_ms",
+        "python_version",
+        "sqlite_version",
+        "numpy_version",
+    ):
+        assert key in INFO_KEYS
+
+
 def test_main_exit_codes_and_diff_table_output(tmp_path, capsys):
     baseline_path = tmp_path / "baseline.json"
     baseline_path.write_text(json.dumps(BASELINE))

@@ -11,6 +11,7 @@ from repro.sql import (
     Exists,
     InSubquery,
     Literal,
+    OrderItem,
     QuantifiedComparison,
     SQLSyntaxError,
     Star,
@@ -177,15 +178,60 @@ class TestGroupBy:
         assert query.has_aggregates
 
 
+class TestDistinctAndOrderBy:
+    def test_select_distinct(self):
+        query = parse("SELECT DISTINCT A.x FROM A")
+        assert query.distinct
+        assert query.select_items == (ColumnRef("A", "x"),)
+
+    def test_order_by_defaults_ascending(self):
+        query = parse("SELECT A.x FROM A ORDER BY A.x")
+        assert query.order_by == (OrderItem(ColumnRef("A", "x"), descending=False),)
+
+    def test_order_by_mixed_directions(self):
+        query = parse("SELECT A.x, A.y FROM A ORDER BY A.x DESC, A.y ASC")
+        assert query.order_by == (
+            OrderItem(ColumnRef("A", "x"), descending=True),
+            OrderItem(ColumnRef("A", "y"), descending=False),
+        )
+
+    def test_limit_and_offset(self):
+        query = parse("SELECT A.x FROM A ORDER BY A.x LIMIT 10 OFFSET 5")
+        assert query.limit == 10
+        assert query.offset == 5
+
+    def test_limit_without_order_by(self):
+        query = parse("SELECT A.x FROM A LIMIT 3")
+        assert query.limit == 3
+        assert query.offset == 0
+        assert query.order_by == ()
+
+    def test_order_by_after_group_by(self):
+        query = parse(
+            "SELECT A.x, COUNT(*) FROM A GROUP BY A.x ORDER BY A.x DESC LIMIT 2"
+        )
+        assert query.group_by == (ColumnRef("A", "x"),)
+        assert query.order_by == (OrderItem(ColumnRef("A", "x"), descending=True),)
+        assert query.limit == 2
+
+    def test_order_by_columns_are_referenced(self):
+        query = parse("SELECT A.x FROM A ORDER BY A.y")
+        assert ColumnRef("A", "y") in query.referenced_columns()
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT A.x FROM A LIMIT 2.5")
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT A.x FROM A LIMIT B")
+
+
 class TestUnsupportedConstructs:
     @pytest.mark.parametrize(
         "sql",
         [
             "SELECT A.x FROM A WHERE A.x = 1 OR A.y = 2",
             "SELECT A.x FROM A JOIN B ON A.x = B.y",
-            "SELECT DISTINCT A.x FROM A",
             "SELECT A.x FROM A GROUP BY A.x HAVING COUNT(*) > 1",
-            "SELECT A.x FROM A ORDER BY A.x",
             "SELECT A.x FROM A UNION SELECT B.y FROM B",
         ],
     )

@@ -1,0 +1,240 @@
+"""TopK execution: bounded enumeration, distinct fusion, strategy choice.
+
+The cross-engine *semantics* of ranked queries live in the differential
+suite (``tests/test_columnar_differential.py``); this module pins down the
+*mechanics* the ISSUE promises — plan shapes, the heap-vs-sort strategy
+hint, the non-materialization guarantee observable through
+``ExecutionStats`` counters, and the bounded distinct heap's eviction
+rules — with small deterministic databases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schema import Schema
+from repro.relational import (
+    ExecutionContext,
+    ExecutionMode,
+    Executor,
+    plan_query,
+)
+from repro.relational.database import Database
+from repro.relational.executor import ExecutionStats, _topk_distinct_heap
+from repro.relational.plan import Aggregate, Distinct, Project, TopK
+from repro.relational.sqlbackend.lower import lower_query
+from repro.relational.values import OrderKey
+from repro.sql import parse
+
+N_EVENTS = 2000
+KINDS = ("alpha", "beta", "gamma", "delta")
+
+
+@pytest.fixture(scope="module")
+def database() -> Database:
+    schema = Schema("events")
+    schema.add_table("Ev", [("id", "int"), ("kind", "str"), ("score", "int")])
+    schema.add_table("Ref", [("kind", "str")])
+    db = Database(schema)
+    db.insert_many(
+        "Ev",
+        [
+            (i, KINDS[i % len(KINDS)], (i * 7919) % 101)
+            for i in range(N_EVENTS)
+        ],
+    )
+    db.insert_many("Ref", [(kind,) for kind in KINDS])
+    return db
+
+
+def _run(query_text: str, db: Database, mode: ExecutionMode):
+    """Execute through a fresh context and return (rows, stats)."""
+    context = ExecutionContext(db)
+    executor = Executor(db, mode=mode, context=context)
+    result = executor.execute(parse(query_text))
+    return list(result.rows), context.stats
+
+
+# --------------------------------------------------------------------- #
+# plan shapes
+# --------------------------------------------------------------------- #
+
+
+class TestPlanShapes:
+    def test_plain_ranked_query_fuses_distinct_into_topk(self, database):
+        plan = plan_query(
+            parse("SELECT E.id FROM Ev E ORDER BY E.id LIMIT 10"), database
+        )
+        root = plan.root
+        assert isinstance(root, TopK)
+        assert root.distinct is True
+        assert isinstance(root.child, Project)  # Distinct was absorbed
+        assert root.limit == 10 and root.offset == 0
+
+    def test_grouped_ranked_query_sits_on_aggregate_without_distinct(
+        self, database
+    ):
+        plan = plan_query(
+            parse(
+                "SELECT E.kind, COUNT(*) FROM Ev E GROUP BY E.kind "
+                "ORDER BY E.kind LIMIT 2"
+            ),
+            database,
+        )
+        root = plan.root
+        assert isinstance(root, TopK)
+        assert root.distinct is False  # group rows are already unique
+        assert isinstance(root.child, Aggregate)
+
+    def test_bare_limit_compiles_to_keyless_lazy_topk(self, database):
+        plan = plan_query(parse("SELECT E.id FROM Ev E LIMIT 3"), database)
+        root = plan.root
+        assert isinstance(root, TopK)
+        assert root.keys == () and root.strategy == "heap"
+
+    def test_unranked_query_keeps_distinct_root(self, database):
+        plan = plan_query(parse("SELECT E.id FROM Ev E"), database)
+        assert isinstance(plan.root, Distinct)
+
+    def test_strategy_prefers_heap_for_small_k_and_sort_for_large(
+        self, database
+    ):
+        small = plan_query(
+            parse("SELECT E.id FROM Ev E ORDER BY E.id LIMIT 10"), database
+        )
+        large = plan_query(
+            parse("SELECT E.id FROM Ev E ORDER BY E.id LIMIT 1000"), database
+        )
+        assert small.root.strategy == "heap"
+        assert large.root.strategy == "sort"
+
+
+# --------------------------------------------------------------------- #
+# non-materialization counters
+# --------------------------------------------------------------------- #
+
+
+JOIN_TOPK = (
+    "SELECT E.id FROM Ev E, Ref R WHERE E.kind = R.kind "
+    "ORDER BY E.id LIMIT 10"
+)
+
+
+class TestBoundedMaterialization:
+    @pytest.mark.parametrize(
+        "mode", (ExecutionMode.PLANNED, ExecutionMode.COLUMNAR)
+    )
+    def test_limit_on_join_never_holds_more_than_the_cutoff(
+        self, database, mode
+    ):
+        rows, stats = _run(JOIN_TOPK, database, mode)
+        assert rows == [(i,) for i in range(10)]
+        # The whole join output was consumed (ordering needs every
+        # candidate) but at most the cutoff was ever resident.
+        assert stats.topk_input_rows == N_EVENTS
+        assert stats.topk_held_rows <= 10
+
+    def test_bare_limit_exits_the_row_pipeline_early(self, database):
+        rows, stats = _run(
+            "SELECT E.id FROM Ev E LIMIT 3", database, ExecutionMode.PLANNED
+        )
+        assert len(rows) == 3
+        # islice stopped pulling after 3 distinct rows: the scan never ran.
+        assert stats.topk_input_rows == 3
+
+    def test_sort_strategy_still_counts_held_rows(self, database):
+        rows, stats = _run(
+            "SELECT E.id FROM Ev E ORDER BY E.id LIMIT 1000",
+            database,
+            ExecutionMode.PLANNED,
+        )
+        assert len(rows) == 1000
+        assert stats.topk_held_rows == N_EVENTS  # full sort, by design
+
+
+# --------------------------------------------------------------------- #
+# the bounded distinct heap
+# --------------------------------------------------------------------- #
+
+
+def _heap(rows: list[tuple], cutoff: int) -> list[tuple]:
+    return _topk_distinct_heap(
+        iter(rows),
+        lambda row: OrderKey(row, (False,)),
+        cutoff,
+        ExecutionStats(),
+    )
+
+
+class TestDistinctHeap:
+    def test_duplicate_of_evicted_row_cannot_reenter(self):
+        # (5,) is admitted, evicted by better rows, then reappears — the
+        # worst resident key only ever improves, so it stays out.
+        rows = [(5,), (3,), (1,), (3,), (5,), (0,)]
+        assert _heap(rows, 2) == [(0,), (1,)]
+
+    def test_duplicates_of_resident_rows_are_skipped(self):
+        assert _heap([(1,), (1,), (2,), (2,), (1,)], 2) == [(1,), (2,)]
+
+    def test_boundary_ties_do_not_evict(self):
+        # Equal keys never displace a resident row: both (2,)s are the
+        # same row here, but distinct rows tying at the boundary keep the
+        # first-admitted one (the arbitrary choice LIMIT semantics allow).
+        assert _heap([(1,), (2,), (2,), (3,)], 2) == [(1,), (2,)]
+
+    def test_holds_at_most_cutoff_rows(self):
+        stats = ExecutionStats()
+        out = _topk_distinct_heap(
+            iter([(value % 50,) for value in range(1000)]),
+            lambda row: OrderKey(row, (False,)),
+            5,
+            stats,
+        )
+        assert out == [(0,), (1,), (2,), (3,), (4,)]
+        assert stats.topk_held_rows == 5
+
+
+# --------------------------------------------------------------------- #
+# engine agreement on the fused-distinct path + SQL rendering
+# --------------------------------------------------------------------- #
+
+
+ALL_MODES = (
+    ExecutionMode.NAIVE,
+    ExecutionMode.PLANNED,
+    ExecutionMode.COLUMNAR,
+    ExecutionMode.SQL,
+)
+
+
+class TestFusedDistinct:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_distinct_ranked_output_matches_everywhere(self, database, mode):
+        rows, _ = _run(
+            "SELECT DISTINCT E.score FROM Ev E ORDER BY E.score DESC LIMIT 5",
+            database,
+            mode,
+        )
+        assert rows == [(100,), (99,), (98,), (97,), (96,)]
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_distinct_ranked_with_offset(self, database, mode):
+        rows, _ = _run(
+            "SELECT DISTINCT E.score FROM Ev E "
+            "ORDER BY E.score LIMIT 3 OFFSET 2",
+            database,
+            mode,
+        )
+        assert rows == [(2,), (3,), (4,)]
+
+    def test_sql_lowering_renders_order_limit_and_distinct(self, database):
+        plan = plan_query(
+            parse(
+                "SELECT E.score FROM Ev E ORDER BY E.score DESC LIMIT 5"
+            ),
+            database,
+        )
+        sql = lower_query(plan, database).sql
+        assert "SELECT DISTINCT *" in sql
+        assert "ORDER BY" in sql and "DESC" in sql
+        assert "LIMIT" in sql
