@@ -126,6 +126,13 @@ INFO_KEYS = (
     # how many requests *observably* awaited an in-flight compile is a
     # race between workers — the deterministic gate is burst_unique_compiles
     "coalesced_requests",
+    # disk-cache health: eviction/degradation counts depend on what an
+    # earlier run (or a hostile filesystem) left in the store directory —
+    # report them so a corrupt store is visible, never gate on them
+    "disk_evictions",
+    "disk_corrupt_evictions",
+    "disk_stale_evictions",
+    "disk_degraded",
 )
 
 

@@ -13,6 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro bench-diagram --queries 1200 --distinct 200
     python -m repro serve --port 8080 --disk-cache ~/.cache/repro
     python -m repro bench-serve --concurrency 16 --json serve.json
+    python -m repro chaos --queries 30 --fault-seed 1337
 
 ``render`` turns an SQL file (or stdin when the path is ``-``) into a DOT,
 SVG or plain-text diagram via the staged compilation pipeline;
@@ -26,7 +27,14 @@ runs the Chinook batch workload through the planned executor; and
 cold vs. batched and reports the speedup and per-stage cache statistics;
 ``serve`` runs the long-lived compile server (see ``docs/serving.md``); and
 ``bench-serve`` load-tests it, reporting sustained req/s, p50/p99 latency
-cold vs. warm, and how far in-flight coalescing collapses duplicate bursts.
+cold vs. warm, and how far in-flight coalescing collapses duplicate bursts;
+and ``chaos`` runs the seeded fault-injection differential (engines must
+fall back, caches must evict-never-trust, the server must retry — and
+every answer must stay byte-identical to the fault-free run; see
+``docs/robustness.md``).  ``--fault-plan`` (on ``serve``, ``bench-exec``,
+``bench-serve`` and ``chaos``) and the ``REPRO_FAULT_PLAN`` environment
+variable install a :class:`repro.faults.FaultPlan` from inline JSON or a
+JSON file.
 """
 
 from __future__ import annotations
@@ -167,6 +175,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json", help="also write the measurements to this JSON file"
     )
+    bench.add_argument(
+        "--fault-plan",
+        help="fault-injection plan (inline JSON or a JSON file path); "
+        "see docs/robustness.md",
+    )
+    bench.add_argument(
+        "--fallback",
+        action="store_true",
+        help="wrap each engine in the breaker-guarded PLANNED fallback "
+        "(recoverable failures degrade instead of aborting the run)",
+    )
 
     bench_diagram = subparsers.add_parser(
         "bench-diagram",
@@ -236,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve the literal NOT EXISTS form instead of the ∀ simplification",
     )
+    serve.add_argument(
+        "--fault-plan",
+        help="fault-injection plan (inline JSON or a JSON file path); "
+        "see docs/robustness.md",
+    )
 
     bench_serve = subparsers.add_parser(
         "bench-serve",
@@ -282,6 +306,41 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument(
         "--json", help="also write the measurements to this JSON file"
     )
+    bench_serve.add_argument(
+        "--fault-plan",
+        help="fault-injection plan (inline JSON or a JSON file path); "
+        "see docs/robustness.md",
+    )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="seeded fault-injection differential: answers must survive "
+        "injected engine, cache and serve failures unchanged",
+    )
+    chaos.add_argument(
+        "--queries", type=int, default=30,
+        help="distinct generated queries per leg",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, help="base seed for the query generator"
+    )
+    chaos.add_argument(
+        "--fault-seed", type=int, default=1337,
+        help="seed of the injected fault plans (reproduces a chaos run)",
+    )
+    chaos.add_argument(
+        "--fault-plan",
+        help="replace the built-in per-leg rules with this plan "
+        "(inline JSON or a JSON file path)",
+    )
+    chaos.add_argument(
+        "--cache-dir",
+        help="directory for the cache leg's disk store "
+        "(default: a fresh temporary directory)",
+    )
+    chaos.add_argument(
+        "--json", help="also write the verdict payload to this JSON file"
+    )
 
     warm = subparsers.add_parser(
         "warm-cache",
@@ -326,6 +385,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    from .faults import (
+        FaultPlan,
+        InjectedFault,
+        install_plan,
+        install_plan_from_env,
+    )
+
+    # The environment plan first, an explicit --fault-plan over it.  The
+    # chaos command manages its own per-leg plans instead (its flag
+    # replaces the leg rules, not the global plan).
+    install_plan_from_env()
+    if args.command != "chaos" and getattr(args, "fault_plan", None):
+        install_plan(FaultPlan.from_spec(args.fault_plan))
     try:
         if args.command == "render":
             return _run_render(args)
@@ -345,8 +417,10 @@ def main(argv: list[str] | None = None) -> int:
             return _run_bench_serve(args)
         if args.command == "warm-cache":
             return _run_warm_cache(args)
+        if args.command == "chaos":
+            return _run_chaos(args)
         return _run_study(args)
-    except (SQLError, EngineError) as error:
+    except (SQLError, EngineError, InjectedFault) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     except BrokenPipeError:
@@ -492,7 +566,7 @@ def _run_bench_exec(args: argparse.Namespace) -> int:
     results: dict[str, list] = {}
     for mode in engines:
         name = engine_names[mode]
-        batch = BatchExecutor(database, mode=mode)
+        batch = BatchExecutor(database, mode=mode, fallback=args.fallback)
         start = time.perf_counter()
         cold_results = batch.run(queries)
         cold = time.perf_counter() - start
@@ -508,6 +582,14 @@ def _run_bench_exec(args: argparse.Namespace) -> int:
             f"{warm * 1000:8.1f} ms warm ({len(queries) / warm:8.1f} q/s)"
         )
         print(f"caches:   {batch.stats().describe()}")
+        stats = batch.context.stats
+        if stats.fallbacks or stats.breaker_skips:
+            print(
+                f"fallback: {stats.fallbacks} queries degraded to the rows "
+                f"engine ({stats.breaker_skips} skipped by an open breaker; "
+                f"state {stats.breaker_state})"
+            )
+            payload[f"{name}_fallbacks"] = stats.fallbacks
         payload[f"{name}_cold_ms"] = round(cold * 1000, 1)
         payload[f"{name}_warm_ms"] = round(warm * 1000, 1)
         payload["result_rows"] = total_rows
@@ -762,13 +844,22 @@ def _run_bench_diagram(args: argparse.Namespace) -> int:
             f"persist:  {populate_elapsed * 1000:8.1f} ms populate, "
             f"{warm_elapsed * 1000:8.1f} ms cross-process warm start "
             f"({cold_elapsed / warm_elapsed:.1f}x vs cold, "
-            f"{disk_stats.hits} disk hits)"
+            f"{disk_stats.hits} disk hits, {disk_stats.evictions} evicted: "
+            f"{disk_stats.corrupt_evictions} corrupt / "
+            f"{disk_stats.stale_evictions} stale)"
         )
         payload["persistent_populate_ms"] = round(populate_elapsed * 1000, 1)
         payload["persistent_warm_ms"] = round(warm_elapsed * 1000, 1)
         payload["persistent_speedup_vs_cold"] = round(
             cold_elapsed / warm_elapsed, 1
         )
+        payload["disk"] = disk_stats.as_dict()
+        # Flat duplicates for benchmarks/compare.py's INFO keys (it only
+        # inspects scalars).
+        payload["disk_evictions"] = disk_stats.evictions
+        payload["disk_corrupt_evictions"] = disk_stats.corrupt_evictions
+        payload["disk_stale_evictions"] = disk_stats.stale_evictions
+        payload["disk_degraded"] = disk_stats.disk_degraded
 
     if args.json:
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
@@ -900,8 +991,68 @@ def _run_warm_cache(args: argparse.Namespace) -> int:
         + (f" with {args.workers} workers" if args.workers else "")
     )
     print(f"entries:  {disk.entry_count()} cached stage products on disk")
+    # Merged across workers (each worker folds its own store handle's
+    # counters into the PipelineStats it ships back).
+    merged = batch.stats().disk
+    print(
+        "disk:     "
+        f"{merged.get('hits', 0)} hits, {merged.get('writes', 0)} writes, "
+        f"{merged.get('evictions', 0)} evicted "
+        f"({merged.get('corrupt_evictions', 0)} corrupt / "
+        f"{merged.get('stale_evictions', 0)} stale)"
+        + (
+            ", DEGRADED to memory-only"
+            if merged.get("disk_degraded", 0)
+            else ""
+        )
+    )
     print(f"caches:   {batch.stats().describe()}")
     return 0
+
+
+def _run_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .workloads.chaosbench import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        queries=args.queries,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        plan_spec=args.fault_plan,
+    )
+    payload = run_chaos(config, cache_dir=args.cache_dir)
+    for mode, leg in payload["engine"].items():
+        print(
+            f"engine/{mode}: {leg['queries']} queries, "
+            f"{leg['fallbacks']} fallbacks "
+            f"({leg['breaker_skips']} breaker skips, "
+            f"breaker {leg['breaker_state']}), "
+            f"identical: {'yes' if leg['identical'] else 'NO'}"
+        )
+    cache = payload["cache"]
+    print(
+        f"cache:      {cache['queries']} queries, "
+        f"{cache['corrupt_evictions']} corrupt evictions, "
+        f"{cache['write_errors']} write errors, "
+        f"identical: {'yes' if cache['identical'] else 'NO'}"
+    )
+    serve = payload["serve"]
+    print(
+        f"serve:      {serve['requests']} requests, "
+        f"{serve['compile_retries']} compile retries, "
+        f"{serve['executor_restarts']} executor restarts, "
+        f"{serve['client_retries']} client retries, "
+        f"identical: {'yes' if serve['identical'] else 'NO'}"
+    )
+    print(
+        f"chaos:      {payload['fault_fires']} faults injected, verdict "
+        f"{'OK' if payload['ok'] else 'FAILED'}"
+    )
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"json:       wrote {args.json}")
+    return 0 if payload["ok"] else 1
 
 
 def _run_study(args: argparse.Namespace) -> int:

@@ -26,10 +26,22 @@ Design rules, in order:
 * **Content-addressed keys.**  Callers address entries by a stable digest
   of (namespace, stage, key); the digest helper accepts the stage caches'
   structured keys (text, enums, frozen AST/Logic-Tree nodes, tuples).
+* **Degrade, never die.**  A cache root that cannot be created, stamped,
+  or written (read-only filesystem, permission change, disk full) flips
+  the store into *degraded* memory-only mode: every ``get`` is a miss,
+  every ``put`` a no-op, and ``stats.disk_degraded`` counts the flip so
+  operators see the cache silently went away.  Compilation never fails
+  because its cache did.
+
+Fault points (see :mod:`repro.faults`): ``diskcache.read`` fires before an
+entry file is read (IO errors / latency), ``diskcache.read.bytes``
+transforms the raw blob (torn/corrupt reads), ``diskcache.write`` fires
+inside the atomic write path.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import pickle
@@ -39,6 +51,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
 from typing import Any, Iterable
+
+from ..faults import fault_point
 
 #: Bump when cached products or key derivations change meaning.
 #: 2: ResultSet became a slotted dataclass with a __reduce__ (PR 5) —
@@ -53,6 +67,12 @@ _VERSION_FILE = "VERSION"
 
 #: Suffix of entry files.
 _ENTRY_SUFFIX = ".pkl"
+
+#: Write failures that condemn the whole store, not just one entry:
+#: permission/ownership changes, read-only remounts, and a full disk.
+_DEGRADE_ERRNOS = frozenset(
+    {errno.EACCES, errno.EPERM, errno.EROFS, errno.ENOSPC}
+)
 
 
 def default_cache_version() -> str:
@@ -127,8 +147,17 @@ class DiskCacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Total entries deleted for any reason; always equals
+    #: ``corrupt_evictions + stale_evictions``.
     evictions: int = 0
+    #: Entries that failed to unpickle, carried foreign content, or raised
+    #: IO errors mid-read — the never-trust branch.
+    corrupt_evictions: int = 0
+    #: Whole-store wipes caused by a version-stamp mismatch.
+    stale_evictions: int = 0
     write_errors: int = 0
+    #: Times the store flipped into memory-only degraded mode.
+    disk_degraded: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -136,7 +165,10 @@ class DiskCacheStats:
             "misses": self.misses,
             "writes": self.writes,
             "evictions": self.evictions,
+            "corrupt_evictions": self.corrupt_evictions,
+            "stale_evictions": self.stale_evictions,
             "write_errors": self.write_errors,
+            "disk_degraded": self.disk_degraded,
         }
 
 
@@ -158,12 +190,20 @@ class DiskCache:
     version: str = field(default_factory=default_cache_version)
     stages: frozenset[str] | None = None
     stats: DiskCacheStats = field(default_factory=DiskCacheStats)
+    #: True once the store gave up on disk and serves memory-only misses.
+    degraded: bool = field(default=False, init=False)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         if self.stages is not None:
             self.stages = frozenset(self.stages)
-        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            # Unwritable or vanished parent: run memory-only rather than
+            # fail whoever wanted a warm start.
+            self._degrade()
+            return
         self._check_version()
 
     # ------------------------------------------------------------------ #
@@ -180,13 +220,20 @@ class DiskCache:
         Anything unreadable — truncated pickle, foreign content, stale
         version — is evicted and counted, never raised.
         """
+        if self.degraded:
+            self.stats.misses += 1
+            return False, None
         path = self._entry_path(stage, digest_key)
         try:
-            payload = pickle.loads(path.read_bytes())
+            fault_point("diskcache.read")
+            blob = fault_point("diskcache.read.bytes", path.read_bytes())
+            payload = pickle.loads(blob)
         except FileNotFoundError:
             self.stats.misses += 1
             return False, None
         except Exception:
+            # IO error mid-read or torn/truncated pickle: the entry can no
+            # longer be told apart from garbage — never trust, evict.
             self._evict(path)
             self.stats.misses += 1
             return False, None
@@ -194,16 +241,29 @@ class DiskCache:
             not isinstance(payload, tuple)
             or len(payload) != 3
             or payload[0] != _ENTRY_MAGIC
-            or payload[1] != self.version
         ):
             self._evict(path)
+            self.stats.misses += 1
+            return False, None
+        if payload[1] != self.version:
+            # Readable but written under different semantics (another
+            # process raced a version bump): stale, not corrupt.
+            self._evict(path, stale=True)
             self.stats.misses += 1
             return False, None
         self.stats.hits += 1
         return True, payload[2]
 
     def put(self, digest_key: str, stage: str, value: Any) -> bool:
-        """Persist ``value``; atomic, best-effort (failures are counted)."""
+        """Persist ``value``; atomic, best-effort (failures are counted).
+
+        A write refused by the filesystem itself (permission denied,
+        read-only mount, disk full) degrades the store to memory-only:
+        the condition is not per-entry, so retrying every future write
+        would just pay the syscall tax for nothing.
+        """
+        if self.degraded:
+            return False
         path = self._entry_path(stage, digest_key)
         try:
             blob = pickle.dumps(
@@ -215,6 +275,7 @@ class DiskCache:
             self.stats.write_errors += 1
             return False
         try:
+            fault_point("diskcache.write")
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
                 dir=path.parent, suffix=_ENTRY_SUFFIX + ".tmp"
@@ -229,8 +290,13 @@ class DiskCache:
                 except OSError:
                     pass
                 raise
-        except Exception:
+        except Exception as error:
             self.stats.write_errors += 1
+            if (
+                isinstance(error, OSError)
+                and error.errno in _DEGRADE_ERRNOS
+            ):
+                self._degrade()
             return False
         self.stats.writes += 1
         return True
@@ -285,19 +351,32 @@ class DiskCache:
             # than trust entries written under different semantics.
             if stamped is not None:
                 self.stats.evictions += 1
+                self.stats.stale_evictions += 1
             for stage_dir in self._stage_dirs():
                 _remove_tree(stage_dir)
             try:
                 version_file.write_text(self.version + "\n", encoding="utf-8")
             except OSError:
-                pass
+                # A store we cannot stamp is a store we can never trust
+                # (the wipe above may not even have happened on a read-only
+                # mount): go memory-only.
+                self._degrade()
 
-    def _evict(self, path: Path) -> None:
+    def _evict(self, path: Path, *, stale: bool = False) -> None:
         self.stats.evictions += 1
+        if stale:
+            self.stats.stale_evictions += 1
+        else:
+            self.stats.corrupt_evictions += 1
         try:
             path.unlink()
         except OSError:
             pass
+
+    def _degrade(self) -> None:
+        if not self.degraded:
+            self.degraded = True
+            self.stats.disk_degraded += 1
 
 
 def _remove_tree(root: Path) -> None:

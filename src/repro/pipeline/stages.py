@@ -72,6 +72,11 @@ class PipelineStats:
     counters: dict[str, StageCounter] = field(
         default_factory=lambda: {name: StageCounter() for name in STAGE_NAMES}
     )
+    #: Disk-store counters (hits, writes, corrupt/stale evictions,
+    #: degradations) accumulated across this compiler and any merged
+    #: workers; empty when no disk cache is bound.  Refreshed by
+    #: :meth:`~repro.pipeline.compiler.DiagramCompiler.stats`.
+    disk: dict[str, int] = field(default_factory=dict)
 
     def counter(self, stage: str) -> StageCounter:
         return self.counters[stage]
@@ -110,10 +115,12 @@ class PipelineStats:
             mine.hits += counter.hits
             mine.misses += counter.misses
             mine.disk_hits += counter.disk_hits
+        for key, value in other.disk.items():
+            self.disk[key] = self.disk.get(key, 0) + value
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-friendly summary (used by ``repro bench-diagram --json``)."""
-        return {
+        payload: dict[str, Any] = {
             "queries": self.queries,
             "hit_rate": round(self.hit_rate, 4),
             "stages": {
@@ -129,6 +136,9 @@ class PipelineStats:
                 if counter.lookups
             },
         }
+        if self.disk:
+            payload["disk"] = dict(self.disk)
+        return payload
 
 
 class StageCache:

@@ -2,10 +2,17 @@
 
 from .aggregates import AGGREGATES, apply_aggregate
 from .backends import (
+    BreakerState,
+    CircuitBreaker,
     ExecutionBackend,
+    FallbackBackend,
     backend_for,
+    breaker_states,
+    is_recoverable,
     register_backend,
     registered_modes,
+    reset_breakers,
+    with_fallback,
 )
 from .batch import BatchExecutor, BatchStats, execute_batch
 from .columnar import ColumnarTable
@@ -36,7 +43,10 @@ __all__ = [
     "BatchExecutor",
     "BatchStats",
     "BlockPlan",
+    "BreakerState",
     "CatalogStatistics",
+    "CircuitBreaker",
+    "FallbackBackend",
     "ColumnarTable",
     "Database",
     "EngineError",
@@ -58,12 +68,16 @@ __all__ = [
     "Value",
     "apply_aggregate",
     "backend_for",
+    "breaker_states",
     "compare",
     "execute",
     "execute_batch",
+    "is_recoverable",
     "plan_query",
     "register_backend",
     "registered_modes",
+    "reset_breakers",
     "stable_hash",
     "values_comparable",
+    "with_fallback",
 ]

@@ -99,11 +99,14 @@ class BatchExecutor:
         database: Database,
         mode: ExecutionMode = ExecutionMode.PLANNED,
         disk_cache: DiskCache | str | Path | None = None,
+        fallback: bool = False,
     ) -> None:
         self._db = database
         self._mode = mode
         self._context = ExecutionContext(database)
-        self._executor = Executor(database, mode=mode, context=self._context)
+        self._executor = Executor(
+            database, mode=mode, context=self._context, fallback=fallback
+        )
         self._queries_run = 0
         if disk_cache is not None and not hasattr(disk_cache, "get"):
             # Imported lazily: repro.logic pulls in this package at import

@@ -937,6 +937,12 @@ def _register() -> None:
         mode = ExecutionMode.COLUMNAR
 
         def execute(self, query, context: "ExecutionContext") -> "ResultSet":
+            from ..faults import fault_point
+
+            # Chaos stand-in for the engine's real operational failure
+            # modes (NumPy import loss mid-flight, kernel OOM): a
+            # FallbackBackend re-executes on the rows engine.
+            fault_point("engine.columnar.execute")
             context.refresh()
             return run_block_columnar(context.plan(query), context)
 

@@ -61,8 +61,9 @@ from ..sql.ast import (
     SelectQuery,
     Star,
 )
+from ..faults import fault_point
 from .aggregates import apply_aggregate
-from .backends import ExecutionBackend, backend_for, register_backend
+from .backends import ExecutionBackend, backend_for, register_backend, with_fallback
 from .database import Database, Relation, Row
 from .errors import (
     AmbiguousColumnError,
@@ -172,6 +173,13 @@ class ExecutionStats:
     # topk_held_rows stays at 10.
     topk_input_rows: int = 0
     topk_held_rows: int = 0
+    # Graceful degradation (only moves under a FallbackBackend): queries
+    # re-executed on the fallback engine, executions that skipped a
+    # primary outright because its breaker was open, and the last
+    # observed breaker state per wrapped engine.
+    fallbacks: int = 0
+    breaker_skips: int = 0
+    breaker_state: dict[str, str] = field(default_factory=dict)
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -186,6 +194,8 @@ class ExecutionStats:
             "sql_lower_misses": self.sql_lower_misses,
             "topk_input_rows": self.topk_input_rows,
             "topk_held_rows": self.topk_held_rows,
+            "fallbacks": self.fallbacks,
+            "breaker_skips": self.breaker_skips,
         }
 
 
@@ -840,6 +850,13 @@ class Executor:
     engine is reachable here without this facade naming it; ``context``
     lets callers share plan/subquery caches across executors (see
     :class:`ExecutionContext`).
+
+    ``fallback=True`` wraps the engine in a breaker-guarded
+    :class:`~.backends.FallbackBackend`: recoverable engine failures
+    (IO faults, sqlite operational errors, injected chaos) re-execute on
+    the PLANNED rows engine instead of raising, counted in
+    ``context.stats.fallbacks``.  Off by default — differential suites
+    need engines that fail loudly (see ``docs/robustness.md``).
     """
 
     def __init__(
@@ -847,10 +864,14 @@ class Executor:
         database: Database,
         mode: ExecutionMode = ExecutionMode.PLANNED,
         context: ExecutionContext | None = None,
+        fallback: bool = False,
     ) -> None:
         self._db = database
         self._mode = mode
         self._context = context if context is not None else ExecutionContext(database)
+        self._backend: ExecutionBackend | None = (
+            with_fallback(mode) if fallback else None
+        )
 
     @property
     def mode(self) -> ExecutionMode:
@@ -862,7 +883,8 @@ class Executor:
 
     def execute(self, query: SelectQuery) -> ResultSet:
         """Execute ``query`` and return its result set."""
-        return backend_for(self._mode).execute(query, self._context)
+        backend = self._backend if self._backend is not None else backend_for(self._mode)
+        return backend.execute(query, self._context)
 
     def explain(self, query: SelectQuery) -> str:
         """EXPLAIN-style rendering of the plan the query would execute.
@@ -1157,6 +1179,10 @@ class _PlannedRowBackend(ExecutionBackend):
     mode = ExecutionMode.PLANNED
 
     def execute(self, query: SelectQuery, context: ExecutionContext) -> ResultSet:
+        # The rows engine is the fallback of last resort — its fault point
+        # exists so chaos tests can prove that when *every* engine dies the
+        # failure propagates instead of looping.
+        fault_point("engine.planned.execute")
         context.refresh()
         return run_block(context.plan(query), context)
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import sqlite3
 from typing import TYPE_CHECKING
 
+from ...faults import fault_point
 from ..backends import ExecutionBackend, register_backend
 from ..errors import (
     AmbiguousColumnError,
@@ -102,6 +103,10 @@ class SQLBackend(ExecutionBackend):
     def execute(
         self, query: "SelectQuery", context: ExecutionContext
     ) -> ResultSet:
+        # Chaos stand-in for sqlite's operational failure modes (disk IO
+        # errors, database corruption): a FallbackBackend re-executes on
+        # the rows engine when this fires.
+        fault_point("engine.sql.execute")
         context.refresh()
         plan = context.plan(query)
         lowered = self._lowered(plan, context)

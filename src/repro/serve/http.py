@@ -14,7 +14,10 @@ path       method  body / response
 /fingerprint POST  ``{"sql": "..."}`` → canonical fingerprint
 /render    POST    ``{"sql": "...", "format": "svg"}`` → one output
 /stats     GET     structured service/LRU/pipeline/disk counters
-/healthz   GET     ``{"status": "ok"}`` (``draining`` + 503 on drain)
+/healthz   GET     ``{"status": "ok" | "degraded" | "draining", ...}``
+                   with breaker states, cache degradation and in-flight
+                   depth (``draining`` answers 503; ``degraded`` still
+                   200 — the replica keeps answering)
 =========  ======  ====================================================
 
 Errors map to conventional statuses: malformed JSON / SQL / formats → 400,

@@ -30,6 +30,16 @@ shed with :class:`ServiceUnavailable` (HTTP 503) rather than queueing
 without bound.  A shed or timed-out request never cancels the underlying
 compile — the in-flight task is shielded and still populates the caches,
 so the retry the 503 invites is cheap.
+
+Fault policy (see docs/robustness.md): the compile worker is *supervised*
+— a crashed or broken executor is replaced on the spot
+(``stats.executor_restarts``) — and every compile gets one cheap retry
+when it fails on a *recoverable* error (an injected fault, an IO error, a
+broken worker; ``stats.compile_retries``) before the request joins the
+503 shed path.  Semantic failures (bad SQL) stay 400 and never retry.  A
+failed in-flight task is popped without populating the response LRU, so a
+poisoned coalesced compile never serves stale errors: the next request
+recompiles.
 """
 
 from __future__ import annotations
@@ -37,12 +47,14 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..catalog.schema import Schema
+from ..faults import InjectedCrash, fault_point
 from ..pipeline import RENDERERS, DiagramCompiler, DiskCache
+from ..relational.backends import breaker_states, is_recoverable
 from ..render.layout import LayoutConfig
 from ..sql.errors import SQLError
 from .lru import LRUCache
@@ -113,6 +125,8 @@ class ServiceStats:
     bad_requests: int = 0
     internal_errors: int = 0
     stage_cache_clears: int = 0
+    compile_retries: int = 0
+    executor_restarts: int = 0
 
     def count(self, endpoint: str) -> None:
         self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
@@ -219,8 +233,33 @@ class CompileService:
         return await self._admitted(_render())
 
     def healthz(self) -> dict:
+        """Liveness + degradation report: cheap enough for tight probes.
+
+        ``status`` is ``ok``, ``degraded`` (still answering, but the disk
+        cache went memory-only or an engine breaker is not closed) or
+        ``draining`` (503 — take this replica out of rotation).
+        """
         self.stats.count("healthz")
-        return {"status": "draining" if self._draining else "ok"}
+        disk = self._compiler.disk_cache
+        disk_degraded = bool(disk is not None and disk.degraded)
+        breakers = breaker_states()
+        if self._draining:
+            status = "draining"
+        elif disk_degraded or any(
+            state != "closed" for state in breakers.values()
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "in_flight": len(self._inflight),
+            "pending": self._pending,
+            "compile_retries": self.stats.compile_retries,
+            "executor_restarts": self.stats.executor_restarts,
+            "disk_degraded": disk_degraded,
+            "engine_breakers": breakers,
+        }
 
     def stats_payload(self) -> dict:
         """The /stats document: service, LRU, pipeline and disk counters."""
@@ -240,6 +279,8 @@ class CompileService:
             "bad_requests": self.stats.bad_requests,
             "internal_errors": self.stats.internal_errors,
             "stage_cache_clears": self.stats.stage_cache_clears,
+            "compile_retries": self.stats.compile_retries,
+            "executor_restarts": self.stats.executor_restarts,
             "lru": {"entries": len(self._lru), **self._lru.stats.as_dict()},
             "pipeline": compiler.stats().as_dict(),
         }
@@ -338,9 +379,25 @@ class CompileService:
         self, key: tuple, sql: str, formats: tuple[str, ...]
     ) -> tuple[dict, bytes]:
         loop = asyncio.get_running_loop()
-        artifact = await loop.run_in_executor(
-            self._compile_executor, self._compile_sync, sql, formats
-        )
+        try:
+            artifact = await self._run_compile(loop, sql, formats)
+        except Exception as error:
+            if not self._recoverable(error):
+                raise
+            # One cheap retry before the 503 path: transient faults (a
+            # torn cache read, a crashed worker thread) usually clear
+            # immediately — and a restarted executor deserves one chance
+            # before this replica starts shedding.
+            self.stats.compile_retries += 1
+            try:
+                artifact = await self._run_compile(loop, sql, formats)
+            except Exception as retry_error:
+                if self._recoverable(retry_error):
+                    raise ServiceUnavailable(
+                        "compile failed twice on a recoverable fault; "
+                        "retry later"
+                    ) from retry_error
+                raise
         payload = {
             "fingerprint": artifact.fingerprint,
             "formats": sorted(artifact.outputs),
@@ -352,7 +409,40 @@ class CompileService:
         self._lru.put(key, (payload, body))
         return payload, body
 
+    async def _run_compile(self, loop, sql: str, formats: tuple[str, ...]):
+        """One supervised executor hop: restart the worker on crash."""
+        try:
+            return await loop.run_in_executor(
+                self._compile_executor, self._compile_sync, sql, formats
+            )
+        except (BrokenExecutor, InjectedCrash):
+            self._restart_compile_executor()
+            raise
+        except RuntimeError as error:
+            # "cannot schedule new futures after (interpreter) shutdown":
+            # the pool is unusable; replace it before re-raising.
+            if "shutdown" in str(error):
+                self._restart_compile_executor()
+            raise
+
+    @staticmethod
+    def _recoverable(error: BaseException) -> bool:
+        """Whether a failed compile deserves the retry/503 path (not 400/500)."""
+        return isinstance(error, BrokenExecutor) or is_recoverable(error)
+
+    def _restart_compile_executor(self) -> None:
+        """Supervision: replace a crashed compile worker with a fresh one."""
+        self.stats.executor_restarts += 1
+        old = self._compile_executor
+        self._compile_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-compile"
+        )
+        old.shutdown(wait=False, cancel_futures=True)
+
     def _compile_sync(self, sql: str, formats: tuple[str, ...]):
+        # Chaos stand-in for everything that can kill a compile mid-flight
+        # (worker thread death, cache IO errors surfacing as exceptions).
+        fault_point("serve.compile")
         artifact = self._compiler.compile(sql, formats=formats)
         if self._compiler.bound_caches(self.config.stage_cache_bound):
             self.stats.stage_cache_clears += 1

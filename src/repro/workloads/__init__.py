@@ -1,5 +1,6 @@
 """Workload generators: random queries, synthetic databases, bench batches."""
 
+from .chaosbench import ChaosConfig, run_chaos
 from .datagen import (
     beers_database,
     beers_fig3_database,
@@ -20,9 +21,11 @@ from .querygen import QueryGenConfig, QueryGenerator
 from .servebench import ServeBenchConfig, run_serve_bench, serve_bench
 
 __all__ = [
+    "ChaosConfig",
     "QueryGenConfig",
     "QueryGenerator",
     "ServeBenchConfig",
+    "run_chaos",
     "run_serve_bench",
     "serve_bench",
     "beers_database",

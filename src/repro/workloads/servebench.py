@@ -105,10 +105,27 @@ class _Client:
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
-    async def connect(self) -> None:
-        self._reader, self._writer = await asyncio.open_connection(
-            self._host, self._port
-        )
+    async def connect(self, retry_timeout: float = 10.0) -> None:
+        """Connect, retrying refused connections with capped backoff.
+
+        ``bench-serve url=...`` and the e2e test race a subprocess server
+        to its ``bind()``; on a slow CI machine the first connect can lose
+        that race.  Refusals within ``retry_timeout`` are part of startup,
+        not errors.
+        """
+        backoff = 0.05
+        deadline = time.monotonic() + retry_timeout
+        while True:
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self._host, self._port
+                )
+                return
+            except ConnectionRefusedError:
+                if time.monotonic() >= deadline:
+                    raise
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, 0.5)
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -120,12 +137,14 @@ class _Client:
 
     async def request(
         self, method: str, path: str, document: dict | None = None
-    ) -> tuple[int, bytes]:
-        """``(status, raw body)`` — parsing is the *caller's* cost.
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """``(status, raw body, response headers)`` — parsing is the *caller's* cost.
 
         A load generator must not bill JSON decoding of multi-kilobyte
         rendered outputs to the server's latency, so the hot path returns
         the undecoded body and only error paths / stats readers parse it.
+        Headers come back lower-cased so retry loops can honor
+        ``Retry-After`` on 503.
         """
         assert self._reader is not None and self._writer is not None
         body = b"" if document is None else json.dumps(document).encode("utf-8")
@@ -140,12 +159,14 @@ class _Client:
         await self._writer.drain()
         status_line = await self._reader.readline()
         status = int(status_line.split()[1])
+        headers: dict[str, str] = {}
         content_length = 0
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 content_length = int(value.strip())
         raw = (
@@ -153,7 +174,14 @@ class _Client:
             if content_length
             else b""
         )
-        return status, raw
+        return status, raw, headers
+
+
+#: 503 retry policy: attempts beyond the first request, and the backoff
+#: floor/ceiling (the server's ``Retry-After`` wins when larger).
+_MAX_RETRIES = 5
+_RETRY_BACKOFF_S = 0.05
+_RETRY_BACKOFF_CAP_S = 5.0
 
 
 async def _measure(
@@ -161,19 +189,26 @@ async def _measure(
     port: int,
     jobs: list[tuple[str, dict]],
     concurrency: int,
-) -> tuple[list[float], float]:
+) -> tuple[list[float], float, int]:
     """Run ``jobs`` over ``concurrency`` keep-alive connections.
 
-    Returns (per-request latencies in seconds, wall-clock seconds).  Any
-    non-200 response fails the benchmark loudly — a load generator that
-    quietly counts errors as throughput measures nothing.
+    Returns (per-request latencies in seconds, wall-clock seconds, number
+    of 503-retried requests).  A 503 is the server's documented shed
+    signal, so the client honors its ``Retry-After`` with exponential
+    backoff before giving up; any other non-200 fails the benchmark
+    loudly — a load generator that quietly counts errors as throughput
+    measures nothing.  Retried requests bill their full wall-clock
+    (including backoff sleeps) to latency: shed-and-retry *is* the user
+    experience under overload.
     """
     queue: asyncio.Queue[tuple[str, dict]] = asyncio.Queue()
     for job in jobs:
         queue.put_nowait(job)
     latencies: list[float] = []
+    retried = 0
 
     async def worker() -> None:
+        nonlocal retried
         client = _Client(host, port)
         await client.connect()
         try:
@@ -183,8 +218,27 @@ async def _measure(
                 except asyncio.QueueEmpty:
                     return
                 start = time.perf_counter()
-                status, raw = await client.request("POST", path, document)
+                status, raw, headers = await client.request(
+                    "POST", path, document
+                )
+                attempts = 0
+                backoff = _RETRY_BACKOFF_S
+                while status == 503 and attempts < _MAX_RETRIES:
+                    attempts += 1
+                    try:
+                        retry_after = float(headers.get("retry-after", "0"))
+                    except ValueError:
+                        retry_after = 0.0
+                    await asyncio.sleep(
+                        min(max(retry_after, backoff), _RETRY_BACKOFF_CAP_S)
+                    )
+                    backoff = min(backoff * 2, _RETRY_BACKOFF_CAP_S)
+                    status, raw, headers = await client.request(
+                        "POST", path, document
+                    )
                 latencies.append(time.perf_counter() - start)
+                if attempts:
+                    retried += 1
                 if status != 200:
                     raise RuntimeError(
                         f"{path} returned {status}: {raw.decode('utf-8', 'replace')}"
@@ -195,14 +249,14 @@ async def _measure(
     started = time.perf_counter()
     await asyncio.gather(*(worker() for _ in range(min(concurrency, len(jobs)))))
     elapsed = time.perf_counter() - started
-    return latencies, elapsed
+    return latencies, elapsed, retried
 
 
 async def _get(host: str, port: int, path: str) -> dict:
     client = _Client(host, port)
     await client.connect()
     try:
-        status, raw = await client.request("GET", path)
+        status, raw, _headers = await client.request("GET", path)
         if status not in (200, 503):  # /healthz answers 503 while draining
             raise RuntimeError(f"{path} returned {status}")
         return json.loads(raw) if raw else {}
@@ -210,10 +264,13 @@ async def _get(host: str, port: int, path: str) -> dict:
         await client.close()
 
 
-def _phase_summary(latencies: list[float], elapsed: float) -> dict:
+def _phase_summary(
+    latencies: list[float], elapsed: float, retried: int = 0
+) -> dict:
     ordered = sorted(latencies)
     return {
         "requests": len(latencies),
+        "retried": retried,
         "p50_ms": round(_percentile(ordered, 0.50) * 1000, 3),
         "p99_ms": round(_percentile(ordered, 0.99) * 1000, 3),
         "rps": round(len(latencies) / elapsed, 1),
@@ -300,6 +357,9 @@ async def run_serve_bench(
                 burst["requests"] / max(burst_compiles, 1), 1
             ),
             "coalesced_requests": after["coalesced"] - before["coalesced"],
+            "retried_requests": (
+                cold["retried"] + warm["retried"] + burst["retried"]
+            ),
             "server_stats": after,
         }
         return payload

@@ -1,0 +1,166 @@
+"""Chaos differential suite: faults may cost latency, never answers.
+
+Runs the ``repro chaos`` workload (engine, cache and serve legs) with a
+small corpus and asserts the robustness contract end to end: every leg
+must produce byte-identical results to its fault-free baseline, the fault
+plans must actually fire (no vacuous passes), and with injection disabled
+the degradation machinery must not move at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.faults import FaultPlan, FaultRule, active_plan, clear_plan
+from repro.relational import reset_breakers
+from repro.serve import CompileService
+from repro.workloads import ChaosConfig, run_chaos
+from repro.workloads.chaosbench import (
+    CACHE_RULES,
+    ENGINE_RULES,
+    SERVE_RULES,
+    _cache_leg,
+    _engine_leg,
+    _serve_leg,
+)
+
+SMALL = ChaosConfig(queries=12, seed=0, fault_seed=1337)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults():
+    clear_plan()
+    reset_breakers()
+    yield
+    clear_plan()
+    reset_breakers()
+
+
+def test_engine_leg_is_identical_and_non_vacuous():
+    legs = _engine_leg(SMALL)
+    assert set(legs) == {"sql", "columnar"}
+    for name, leg in legs.items():
+        assert leg["identical"], name
+        assert leg["fault_fires"] > 0, name
+        assert leg["fallbacks"] >= leg["fault_fires"] - 3, name
+
+    # Breaker counters reconcile: every skip also counted as a fallback.
+    for leg in legs.values():
+        assert leg["breaker_skips"] <= leg["fallbacks"]
+
+
+def test_cache_leg_recomputes_through_corruption(tmp_path):
+    leg = _cache_leg(SMALL, tmp_path / "store")
+    assert leg["identical"]
+    assert leg["fault_fires"] > 0
+    # Corruption costs recomputes, not answers: some reads were evicted.
+    assert leg["corrupt_evictions"] + leg["write_errors"] > 0
+
+
+def test_serve_leg_retries_through_faults():
+    leg = _serve_leg(SMALL)
+    assert leg["identical"]
+    assert leg["fault_fires"] > 0
+    assert leg["compile_retries"] > 0
+    # The crash rule (nth=5, times=1) supervised-restarts the executor.
+    assert leg["executor_restarts"] >= 1
+
+
+def test_run_chaos_end_to_end_verdict(tmp_path):
+    report = run_chaos(SMALL, cache_dir=tmp_path / "store")
+    assert report["ok"] is True
+    assert report["fault_fires"] > 0
+    assert report["engine"]["sql"]["identical"]
+    assert report["engine"]["columnar"]["identical"]
+    assert report["cache"]["identical"]
+    assert report["serve"]["identical"]
+
+
+def test_chaos_seeds_are_reproducible(tmp_path):
+    first = run_chaos(SMALL, cache_dir=tmp_path / "a")
+    second = run_chaos(SMALL, cache_dir=tmp_path / "b")
+    # Same seeds → the same faults fire at the same calls: every counter
+    # in the report matches, not just the verdict.
+    assert first == second
+
+
+def test_explicit_plan_spec_replaces_leg_rules():
+    # Exact-point spec (a glob like "engine.*" would also hit the PLANNED
+    # fallback engine — the last resort must stay healthy to converge).
+    config = ChaosConfig(
+        queries=6,
+        plan_spec='{"seed": 2, "rules": [{"point": "engine.sql.execute", '
+        '"fault": "io", "probability": 0.5}]}',
+    )
+    legs = _engine_leg(config)
+    assert all(leg["identical"] for leg in legs.values())
+    assert legs["sql"]["fault_fires"] > 0
+    assert legs["columnar"]["fault_fires"] == 0  # spec replaced its rule
+
+
+def test_no_injection_means_no_injected_degradation():
+    # A plan that can never fire (probability 0) must leave the machinery
+    # exactly as cold as no plan at all.  "Exactly as cold" — not zero:
+    # this corpus contains one deeply nested query that overflows
+    # sqlite's parser stack, a *genuine* operational failure the SQL
+    # engine's fallback absorbs with or without chaos.
+    quiet = ChaosConfig(
+        queries=6,
+        plan_spec='{"rules": [{"point": "engine.sql.execute", '
+        '"fault": "io", "probability": 0.0}]}',
+    )
+    from repro.relational import ExecutionMode, Executor
+    from repro.workloads import sailors_database
+    from repro.workloads.chaosbench import _corpus
+
+    db = sailors_database(n_sailors=12, n_boats=6, n_reservations=30)
+    organic: dict[str, int] = {}
+    for mode in (ExecutionMode.SQL, ExecutionMode.COLUMNAR):
+        reset_breakers()
+        executor = Executor(db, mode=mode, fallback=True)
+        for query in _corpus(quiet):
+            try:
+                executor.execute(query)
+            except Exception:
+                pass
+        organic[mode.value] = executor.context.stats.fallbacks
+    reset_breakers()
+
+    legs = _engine_leg(quiet)
+    for name, leg in legs.items():
+        assert leg["identical"], name
+        assert leg["fault_fires"] == 0, name
+        assert leg["breaker_skips"] == 0, name
+        assert leg["fallbacks"] == organic[name], name
+
+
+def test_default_rule_tables_cover_every_layer():
+    points = [rule.point for rule in ENGINE_RULES + CACHE_RULES + SERVE_RULES]
+    assert any(p.startswith("engine.") for p in points)
+    assert any(p.startswith("diskcache.") for p in points)
+    assert any(p.startswith("serve.") for p in points)
+
+
+def test_service_unavailable_surfaces_after_retry_budget():
+    """Both compile attempts failing recoverable → 503, never a 500."""
+    from repro.serve.service import ServiceUnavailable
+
+    service = CompileService()
+    plan = FaultPlan([FaultRule(point="serve.compile", fault="io", times=2)])
+
+    async def scenario():
+        with active_plan(plan):
+            with pytest.raises(ServiceUnavailable, match="recoverable"):
+                await service.compile(
+                    "SELECT S.sname FROM Sailor S WHERE S.rating > 7",
+                    ("text",),
+                )
+
+    try:
+        asyncio.run(scenario())
+    finally:
+        service.close()
+    assert service.stats.compile_retries == 1
+    assert plan.total_fires() == 2

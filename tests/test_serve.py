@@ -188,7 +188,7 @@ def test_drain_rejects_new_work_and_completes_in_flight():
         while service.in_flight == 0:
             await asyncio.sleep(0.01)
         service.begin_drain()
-        assert service.healthz() == {"status": "draining"}
+        assert service.healthz()["status"] == "draining"
         with pytest.raises(ServiceUnavailable, match="draining"):
             await service.compile(DISTINCT[0], ("text",))
         gate.set()
@@ -281,7 +281,11 @@ class _ServerFixture:
 def test_http_endpoints_and_error_mapping():
     with _ServerFixture() as fixture:
         status, payload, _ = fixture.request("GET", "/healthz")
-        assert (status, payload) == (200, {"status": "ok"})
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["in_flight"] == 0
+        assert payload["disk_degraded"] is False
+        assert isinstance(payload["engine_breakers"], dict)
 
         status, payload, headers = fixture.request(
             "POST",
@@ -337,6 +341,178 @@ def test_http_endpoints_and_error_mapping():
         assert stats["requests"]["compile"] >= 2
         assert stats["lru"]["entries"] >= 1
         assert "pipeline" in stats
+
+
+# --------------------------------------------------------------------- #
+# fault handling: retries, supervision, poisoned coalescing
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def _clean_faults():
+    from repro.faults import clear_plan
+    from repro.relational import reset_breakers
+
+    clear_plan()
+    reset_breakers()
+    yield
+    clear_plan()
+    reset_breakers()
+
+
+def test_single_compile_fault_is_retried_transparently(_clean_faults):
+    from repro.faults import FaultPlan, FaultRule, active_plan
+
+    service = CompileService()
+    plan = FaultPlan([FaultRule(point="serve.compile", fault="io", times=1)])
+
+    async def scenario():
+        with active_plan(plan):
+            return await service.compile(SIMPLE, ("text",))
+
+    try:
+        response = asyncio.run(scenario())
+    finally:
+        service.close()
+    assert response.served == "compile"
+    assert response.payload["fingerprint"]
+    assert service.stats.compile_retries == 1
+    assert plan.total_fires() == 1
+
+
+def test_crashed_compile_executor_is_restarted(_clean_faults):
+    from repro.faults import FaultPlan, FaultRule, active_plan
+
+    service = CompileService()
+    plan = FaultPlan(
+        [FaultRule(point="serve.compile", fault="crash", times=1)]
+    )
+
+    async def scenario():
+        with active_plan(plan):
+            first = await service.compile(SIMPLE, ("text",))
+        # The replacement worker serves future traffic normally.
+        second = await service.compile(DISTINCT[0], ("text",))
+        return first, second
+
+    try:
+        first, second = asyncio.run(scenario())
+    finally:
+        service.close()
+    assert first.payload["fingerprint"] and second.payload["fingerprint"]
+    assert service.stats.executor_restarts == 1
+    assert service.stats.compile_retries == 1
+
+
+def test_poisoned_inflight_compile_is_not_cached_and_next_recompiles(
+    _clean_faults,
+):
+    from repro.faults import FaultPlan, FaultRule, active_plan
+
+    service = CompileService()
+    gate = _gate_compiles(service)
+    # Both the compile and its one retry fail: the in-flight task is
+    # poisoned and every coalesced waiter shares the 503.
+    plan = FaultPlan([FaultRule(point="serve.compile", fault="io", times=2)])
+
+    async def scenario():
+        with active_plan(plan):
+            tasks = [
+                asyncio.ensure_future(service.compile(SIMPLE, ("text",)))
+                for _ in range(3)
+            ]
+            while service.stats.coalesced < 2:
+                await asyncio.sleep(0.01)
+            gate.set()
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            # The failed task must be popped, never parked in the LRU.
+            assert len(service.lru) == 0
+            assert service.in_flight == 0
+            # Fault budget spent: the next request recompiles and succeeds.
+            recovered = await service.compile(SIMPLE, ("text",))
+            return outcomes, recovered
+
+    try:
+        outcomes, recovered = asyncio.run(scenario())
+    finally:
+        service.close()
+    assert all(isinstance(o, ServiceUnavailable) for o in outcomes)
+    assert recovered.served == "compile"
+    assert recovered.payload["fingerprint"]
+    assert service.stats.compile_retries == 1
+    assert plan.total_fires() == 2
+
+
+def test_healthz_reports_degraded_on_open_breaker_but_stays_up(_clean_faults):
+    from repro.faults import FaultPlan, FaultRule, active_plan
+    from repro.relational import ExecutionMode, Executor
+    from repro.sql.parser import parse
+    from repro.workloads import sailors_database
+
+    with _ServerFixture() as fixture:
+        status, payload, _ = fixture.request("GET", "/healthz")
+        assert (status, payload["status"]) == (200, "ok")
+        # Trip the process-global SQL breaker the way production would:
+        # consecutive recoverable failures through the fallback wrapper.
+        executor = Executor(
+            sailors_database(n_sailors=4, n_boats=2, n_reservations=4),
+            mode=ExecutionMode.SQL,
+            fallback=True,
+        )
+        query = parse("SELECT S.sname FROM Sailor S WHERE S.rating > 1")
+        plan = FaultPlan([FaultRule(point="engine.sql.execute", fault="io")])
+        with active_plan(plan):
+            for _ in range(3):
+                executor.execute(query)
+        status, payload, _ = fixture.request("GET", "/healthz")
+        # Degraded is an advisory state: the replica keeps serving (200).
+        assert (status, payload["status"]) == (200, "degraded")
+        assert payload["engine_breakers"]["sql"] == "open"
+        status, compiled, _ = fixture.request(
+            "POST", "/compile", json.dumps({"sql": SIMPLE})
+        )
+        assert status == 200 and compiled["fingerprint"]
+
+
+def test_concurrent_distinct_requests_evict_without_corruption():
+    service = CompileService(
+        config=ServiceConfig(lru_entries=2, default_formats=("text",))
+    )
+
+    async def scenario():
+        tasks = [
+            asyncio.ensure_future(service.compile(sql, ("text",)))
+            for sql in DISTINCT * 2
+        ]
+        return await asyncio.gather(*tasks)
+
+    try:
+        responses = asyncio.run(scenario())
+    finally:
+        service.close()
+    # Duplicates coalesced or hit the LRU; distinct entries churned the
+    # 2-entry LRU without ever serving a wrong payload.
+    by_sql = {}
+    for sql, response in zip(DISTINCT * 2, responses):
+        by_sql.setdefault(sql, set()).add(response.payload["fingerprint"])
+    assert all(len(prints) == 1 for prints in by_sql.values())
+    assert len({f for p in by_sql.values() for f in p}) == len(DISTINCT)
+    assert len(service.lru) <= 2
+    assert service.lru.stats.evictions >= len(DISTINCT) - 2
+    assert service.in_flight == 0
+
+
+def test_lru_stats_dict_clear_and_contains():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    assert "a" in cache and "b" not in cache
+    cache.get("a")
+    cache.get("missing")
+    assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "evictions": 0}
+    cache.clear()
+    assert len(cache) == 0 and "a" not in cache
+    # Stats survive a clear (they describe the cache's lifetime).
+    assert cache.stats.as_dict()["hits"] == 1
 
 
 def test_http_graceful_shutdown_drains_in_flight_request():

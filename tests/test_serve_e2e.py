@@ -58,23 +58,40 @@ def server():
 def _request(
     port: int, method: str, path: str, document: dict | None = None
 ) -> tuple[int, dict]:
-    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
-    try:
-        connection.request(
-            method,
-            path,
-            body=None if document is None else json.dumps(document),
-            headers={"Content-Type": "application/json"},
-        )
-        response = connection.getresponse()
-        return response.status, json.loads(response.read())
-    finally:
-        connection.close()
+    """One request, retrying refused connections with capped backoff.
+
+    The subprocess server prints its URL *before* the accept loop is
+    fully live; on a slow CI machine the first request can race the bind.
+    Refusals inside the startup window are retried, not failed.
+    """
+    deadline = time.monotonic() + 10.0
+    backoff = 0.05
+    while True:
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            connection.request(
+                method,
+                path,
+                body=None if document is None else json.dumps(document),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        except ConnectionRefusedError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(backoff)
+            backoff = min(backoff * 2, 0.5)
+        finally:
+            connection.close()
 
 
 def test_serve_subprocess_answers_all_endpoints(server):
     _proc, port = server
-    assert _request(port, "GET", "/healthz") == (200, {"status": "ok"})
+    status, health = _request(port, "GET", "/healthz")
+    assert (status, health["status"]) == (200, "ok")
+    assert health["disk_degraded"] is False
+    assert health["in_flight"] == 0
 
     status, payload = _request(
         port, "POST", "/compile", {"sql": SIMPLE, "formats": ["text"]}
