@@ -74,6 +74,15 @@ EXACT_KEYS = (
     "burst_requests",
     "burst_unique_compiles",
     "burst_unique_fraction",
+    # pool leg: corpus composition is seeded, and a chaos-free bench run
+    # must see a chaos-free pool (zero failures, zero restarts)
+    "pool_workers",
+    "pool_distinct",
+    "pool_requests",
+    "pool_failed_requests",
+    "pool_worker_restarts",
+    "pool_worker_crashes",
+    "failed_requests",
 )
 
 #: Ratio keys gated by the tolerance band (fresh >= baseline * (1 - tol)).
@@ -88,6 +97,9 @@ RATIO_KEYS = (
     "topk_vs_full_warm",
     "warm_speedup_p50",
     "coalesce_collapse",
+    # N-worker pool vs single process on the stalled-compile corpus; the
+    # stall makes this portable across 1-to-N-core CI hosts (servebench).
+    "pool_vs_single_warm_throughput",
 )
 
 #: Keys that must be truthy whenever both sides carry them.
@@ -115,14 +127,24 @@ INFO_KEYS = (
     "sqlite_version",
     "numpy_version",
     "cold_p50_ms",
+    "cold_p95_ms",
     "cold_p99_ms",
     "cold_rps",
     "warm_p50_ms",
+    "warm_p95_ms",
     "warm_p99_ms",
     "warm_rps",
     "burst_p50_ms",
+    "burst_p95_ms",
     "burst_p99_ms",
     "burst_rps",
+    "retried_requests",
+    # pool-leg timings: per-machine, the gated number is the ratio above
+    "pool_single_rps",
+    "pool_rps",
+    "pool_single_p50_ms",
+    "pool_p50_ms",
+    "pool_p99_ms",
     # how many requests *observably* awaited an in-flight compile is a
     # race between workers — the deterministic gate is burst_unique_compiles
     "coalesced_requests",

@@ -256,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the literal NOT EXISTS form instead of the ∀ simplification",
     )
     serve.add_argument(
+        "--workers", type=int, default=0,
+        help="run a supervised multi-process worker pool of this size "
+        "(0/1 = single-process; SIGHUP hot-reloads the pool's workers)",
+    )
+    serve.add_argument(
         "--fault-plan",
         help="fault-injection plan (inline JSON or a JSON file path); "
         "see docs/robustness.md",
@@ -297,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_serve.add_argument(
         "--seed", type=int, default=0, help="base seed for the query generator"
+    )
+    bench_serve.add_argument(
+        "--workers", type=int, default=0,
+        help="also run the pool leg: compile-bound throughput of an "
+        "N-worker pool vs a single process (ignored with --url)",
     )
     bench_serve.add_argument(
         "--url",
@@ -871,19 +881,52 @@ def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
-    from .serve import CompileServer, CompileService, ServiceConfig
-
-    service = CompileService(
-        simplify=not args.no_simplify,
-        disk_cache=args.disk_cache,
-        config=ServiceConfig(
-            lru_entries=args.lru_size,
-            max_pending=args.max_pending,
-            request_timeout=args.timeout,
-        ),
+    from .serve import (
+        CompileServer,
+        CompileService,
+        PoolConfig,
+        PoolService,
+        ServiceConfig,
     )
 
+    pooled = args.workers and args.workers > 1
+    service_config = ServiceConfig(
+        lru_entries=args.lru_size,
+        max_pending=args.max_pending,
+        request_timeout=args.timeout,
+    )
+    if pooled:
+        # The front end admits; workers get generous bounds plus the
+        # per-request knobs the operator chose.  A fault plan reaches the
+        # workers too (the front end never compiles, so a serve.* plan
+        # that only lived in this process would inject nothing).
+        service = PoolService(
+            config=ServiceConfig(
+                max_pending=args.max_pending, request_timeout=args.timeout
+            ),
+            pool_config=PoolConfig(
+                workers=args.workers,
+                simplify=not args.no_simplify,
+                disk_cache=args.disk_cache,
+                worker_service=ServiceConfig(
+                    lru_entries=args.lru_size,
+                    max_pending=max(args.max_pending, 1024),
+                    request_timeout=max(args.timeout, 30.0),
+                ),
+                worker_fault_plan=args.fault_plan,
+            ),
+        )
+    else:
+        service = CompileService(
+            simplify=not args.no_simplify,
+            disk_cache=args.disk_cache,
+            config=service_config,
+        )
+
     async def _serve() -> int:
+        if pooled:
+            ready = await service.start()
+            print(f"pool: {ready}/{args.workers} workers ready", flush=True)
         server = CompileServer(service, host=args.host, port=args.port)
         await server.start()
         print(f"serving on {server.url}", flush=True)
@@ -896,6 +939,30 @@ def _run_serve(args: argparse.Namespace) -> int:
                 loop.add_signal_handler(signum, stop.set)
             except NotImplementedError:  # pragma: no cover — non-POSIX loop
                 signal.signal(signum, lambda *_: stop.set())
+        if pooled:
+
+            def _reload_done(task: asyncio.Task) -> None:
+                if task.cancelled() or task.exception() is not None:
+                    print("reload failed", flush=True)
+                    return
+                result = task.result()
+                print(
+                    f"reload complete: {len(result['replaced'])} workers "
+                    f"replaced (min ready "
+                    f"{service.supervisor.stats.reload_min_ready})",
+                    flush=True,
+                )
+
+            def _on_hup() -> None:
+                print("SIGHUP: rolling workers one at a time...", flush=True)
+                loop.create_task(service.reload()).add_done_callback(
+                    _reload_done
+                )
+
+            try:
+                loop.add_signal_handler(signal.SIGHUP, _on_hup)
+            except (NotImplementedError, AttributeError):  # pragma: no cover
+                pass
         await stop.wait()
         print("draining in-flight work...", flush=True)
         drained = await server.stop(drain_timeout=args.timeout + 5.0)
@@ -926,6 +993,7 @@ def _run_bench_serve(args: argparse.Namespace) -> int:
         schema=args.schema,
         formats=formats,
         seed=args.seed,
+        workers=args.workers,
     )
     payload = serve_bench(config, url=args.url)
     print(
@@ -959,10 +1027,27 @@ def _run_bench_serve(args: argparse.Namespace) -> int:
         f"collapse {payload['coalesce_collapse']:.1f}x, "
         f"{payload['coalesced_requests']} coalesced in flight)"
     )
+    if payload.get("failed_requests"):
+        print(f"FAILED:   {payload['failed_requests']} requests never got a 200")
+    if "pool_vs_single_warm_throughput" in payload:
+        print(
+            f"pool:     {payload['pool_workers']} workers, "
+            f"{payload['pool_rps']:.1f} req/s vs single "
+            f"{payload['pool_single_rps']:.1f} req/s -> "
+            f"{payload['pool_vs_single_warm_throughput']:.2f}x "
+            f"(stalled-compile corpus of {payload['pool_distinct']}; "
+            f"{payload['pool_failed_requests']} failed, "
+            f"{payload['pool_worker_restarts']} worker restarts)"
+        )
     if args.json:
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"json:     wrote {args.json}")
-    return 0
+    # A request that exhausted its retry budget is a failed experiment,
+    # not a statistic — the CI pool-chaos leg relies on this exit code.
+    failed = payload.get("failed_requests", 0) + payload.get(
+        "pool_failed_requests", 0
+    )
+    return 1 if failed else 0
 
 
 def _run_warm_cache(args: argparse.Namespace) -> int:
@@ -1045,6 +1130,18 @@ def _run_chaos(args: argparse.Namespace) -> int:
         f"{serve['client_retries']} client retries, "
         f"identical: {'yes' if serve['identical'] else 'NO'}"
     )
+    pool = payload.get("pool")
+    if pool is not None:
+        observed = pool["observed"]
+        print(
+            f"pool:       {pool['requests']} requests over {pool['workers']} "
+            f"workers, killed pid {observed['killed_pid']}, "
+            f"{pool['worker_crashes']} crashes / "
+            f"{observed['worker_restarts']} restarts / "
+            f"{observed['failovers']} failovers, "
+            f"{pool['failed_requests']} failed, "
+            f"identical: {'yes' if pool['identical'] else 'NO'}"
+        )
     print(
         f"chaos:      {payload['fault_fires']} faults injected, verdict "
         f"{'OK' if payload['ok'] else 'FAILED'}"

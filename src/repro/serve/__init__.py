@@ -13,7 +13,13 @@ compiles a corpus, and exits.  This package turns those caches into a
   hierarchy, overload shedding and structured counters;
 * :mod:`repro.serve.http` — the stdlib asyncio HTTP/1.1 layer exposing
   ``/compile``, ``/fingerprint``, ``/render``, ``/stats`` and ``/healthz``
-  as JSON endpoints, plus graceful drain on shutdown.
+  as JSON endpoints, plus graceful drain on shutdown;
+* :mod:`repro.serve.supervisor` / :mod:`repro.serve.pool` — the
+  multi-process worker pool: a supervisor that spawns N worker processes
+  (each running a :class:`CompileService`), dispatches with
+  fingerprint-affinity routing, restarts crashed workers with exponential
+  backoff, and hot-reloads them one at a time on SIGHUP
+  (``repro serve --workers N``).
 
 ``repro serve`` runs the server; ``repro bench-serve``
 (:mod:`repro.workloads.servebench`) load-tests it.  See ``docs/serving.md``.
@@ -29,14 +35,26 @@ from .service import (
     ServiceStats,
     ServiceUnavailable,
 )
+from .supervisor import (
+    PoolConfig,
+    PoolService,
+    PoolStats,
+    WorkerCrashed,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "BadRequest",
     "CompileServer",
     "CompileService",
     "LRUCache",
+    "PoolConfig",
+    "PoolService",
+    "PoolStats",
     "ServedResponse",
     "ServiceConfig",
     "ServiceStats",
     "ServiceUnavailable",
+    "WorkerCrashed",
+    "WorkerSupervisor",
 ]

@@ -28,6 +28,7 @@ timed-out or draining → 503 with a ``Retry-After`` header.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 from typing import Any
 
@@ -62,16 +63,29 @@ class _HttpError(Exception):
 
 
 class CompileServer:
-    """Binds a :class:`CompileService` to a TCP port with graceful drain."""
+    """Binds a serving façade to a TCP port with graceful drain.
+
+    ``service`` is duck-typed: the single-process
+    :class:`~repro.serve.service.CompileService` or the multi-process
+    :class:`~repro.serve.supervisor.PoolService` — whose ``stats_payload``
+    is a coroutine (it polls worker processes), which is why ``_dispatch``
+    awaits awaitable results.
+    """
 
     def __init__(
-        self, service: CompileService, host: str = "127.0.0.1", port: int = 0
+        self,
+        service: CompileService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sweep_interval: float = 30.0,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.sweep_interval = sweep_interval
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
+        self._sweeper: asyncio.Task | None = None
 
     async def start(self) -> None:
         """Bind and start accepting connections (port 0 picks one)."""
@@ -79,6 +93,25 @@ class CompileServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._sweeper = asyncio.get_running_loop().create_task(
+            self._sweep_connections()
+        )
+
+    async def _sweep_connections(self) -> None:
+        """Periodically prune finished handler tasks from the tracked set.
+
+        Each task discards itself via a done callback, but a long-lived
+        server must not depend on that alone: a callback that lost the
+        race with ``add`` (or was suppressed by an exotic cancellation
+        path) would pin the task — and its frames, locals and buffers —
+        until close.  The sweep makes the tracked set self-healing under
+        keep-alive churn.
+        """
+        while True:
+            await asyncio.sleep(self.sweep_interval)
+            self._connections.difference_update(
+                [task for task in self._connections if task.done()]
+            )
 
     @property
     def url(self) -> str:
@@ -96,6 +129,8 @@ class CompileServer:
         """
         self.service.begin_drain()
         drained = await self.service.drain(drain_timeout)
+        if self._sweeper is not None:
+            self._sweeper.cancel()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -239,10 +274,10 @@ class CompileServer:
         path = path.split("?", 1)[0]
         if path == "/healthz":
             self._require(method, "GET")
-            return service.healthz()
+            return await self._maybe_await(service.healthz())
         if path == "/stats":
             self._require(method, "GET")
-            return service.stats_payload()
+            return await self._maybe_await(service.stats_payload())
         if path == "/compile":
             self._require(method, "POST")
             document = self._json_body(body)
@@ -267,6 +302,13 @@ class CompileServer:
                 raise _HttpError(400, '"format" must be a string')
             return await service.render(self._sql_field(document), fmt)
         raise _HttpError(404, f"no such endpoint: {path}")
+
+    @staticmethod
+    async def _maybe_await(result):
+        """Await a coroutine result (PoolService endpoints) or pass through."""
+        if inspect.isawaitable(result):
+            return await result
+        return result
 
     @staticmethod
     def _require(method: str, expected: str) -> None:

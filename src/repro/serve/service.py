@@ -132,7 +132,72 @@ class ServiceStats:
         self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
 
 
-class CompileService:
+class RequestFrontEnd:
+    """Shared request-side half of a serving façade.
+
+    Both serving modes — the single-process :class:`CompileService` and
+    the multi-process ``PoolService`` (:mod:`repro.serve.supervisor`) —
+    need the same front half on the event loop: admission control with a
+    per-request budget, the draining flag, and the verbatim-text →
+    canonical-key memo that lets exact-text repeats (the overwhelmingly
+    common case in real traffic) resolve their coalescing/affinity
+    identity without leaving the event loop.  Subclasses decide how a
+    *new* text gets its key — a local fingerprint thread vs. a worker
+    process — and where the expensive back half runs.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        # Sized like the response LRU: several spellings per cached
+        # response is typical, unbounded distinct traffic must still not
+        # grow it forever.
+        self._text_keys = LRUCache(max(4 * self.config.lru_entries, 1024))
+        self._pending = 0
+        self._draining = False
+        self._started = time.monotonic()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def _admitted(self, work) -> dict:
+        """Admission control + per-request timeout around ``work``."""
+        work = asyncio.ensure_future(work)
+        if self._draining:
+            work.cancel()
+            self.stats.shed += 1
+            raise ServiceUnavailable("server is draining", retry_after=5.0)
+        if self._pending >= self.config.max_pending:
+            work.cancel()
+            self.stats.shed += 1
+            raise ServiceUnavailable(
+                f"overloaded: {self._pending} requests pending"
+            )
+        self._pending += 1
+        try:
+            return await asyncio.wait_for(work, self.config.request_timeout)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            raise ServiceUnavailable(
+                f"request exceeded {self.config.request_timeout:.1f}s budget"
+            ) from None
+        finally:
+            self._pending -= 1
+
+    def request_text(self, sql: str) -> str:
+        """Validate and normalize the raw request text (400 on empty)."""
+        if not isinstance(sql, str) or not sql.strip():
+            self.stats.bad_requests += 1
+            raise BadRequest("request carries no SQL text")
+        return sql.strip()
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; in-flight requests keep running."""
+        self._draining = True
+
+
+class CompileService(RequestFrontEnd):
     """Coalescing, cache-layered façade over one :class:`DiagramCompiler`."""
 
     def __init__(
@@ -143,8 +208,7 @@ class CompileService:
         disk_cache: DiskCache | str | Path | None = None,
         config: ServiceConfig | None = None,
     ) -> None:
-        self.config = config or ServiceConfig()
-        self.stats = ServiceStats()
+        super().__init__(config=config)
         self._compiler = DiagramCompiler(
             schema=schema,
             simplify=simplify,
@@ -152,26 +216,18 @@ class CompileService:
             disk_cache=disk_cache,
         )
         self._lru = LRUCache(self.config.lru_entries)
-        # Verbatim-text → canonical-key memo: repeats of the exact same
-        # request text (the overwhelmingly common case in real traffic)
-        # resolve their coalescing/LRU key on the event loop, without the
-        # two thread hops of a front-half run.  Sized like the response
-        # LRU: several spellings per cached response is typical, unbounded
-        # distinct traffic must still not grow it forever.
-        self._text_keys = LRUCache(max(4 * self.config.lru_entries, 1024))
         self._inflight: dict[tuple, asyncio.Task] = {}
-        self._pending = 0
-        self._draining = False
-        self._started = time.monotonic()
         # Fingerprinting must stay responsive while a compile occupies the
-        # compile thread — otherwise concurrent duplicates could not reach
-        # the in-flight table until the compile they should have joined had
-        # already finished.  One worker each: compiles serialize among
-        # themselves (shared caches, one CPU-bound interpreter), requests
-        # interleave on the event loop.
+        # back half — otherwise concurrent duplicates could not reach the
+        # coalescing layer until the compile they should have joined had
+        # already finished.
         self._fp_executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-fp"
         )
+        # Compiles run on their own single thread, separate from the
+        # fingerprint thread: compiles serialize among themselves (shared
+        # caches, one CPU-bound interpreter), requests interleave on the
+        # event loop.
         self._compile_executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serve-compile"
         )
@@ -185,23 +241,25 @@ class CompileService:
         return self._lru
 
     @property
-    def draining(self) -> bool:
-        return self._draining
-
-    @property
     def in_flight(self) -> int:
         return len(self._inflight)
 
-    # ------------------------------------------------------------------ #
-    # endpoints
-    # ------------------------------------------------------------------ #
-
-    async def compile(
-        self, sql: str, formats: tuple[str, ...]
-    ) -> ServedResponse:
-        """Compile ``sql`` to ``formats``; the /compile answer."""
-        self.stats.count("compile")
-        return await self._admitted(self._compile_coalesced(sql, formats))
+    async def _canonical_key(self, sql: str) -> tuple[str, tuple]:
+        """Coalescing/LRU identity: text memo → fingerprint thread."""
+        text = self.request_text(sql)
+        key = self._text_keys.get(text)
+        if key is not None:
+            return key
+        loop = asyncio.get_running_loop()
+        try:
+            key = await loop.run_in_executor(
+                self._fp_executor, self._compiler.canonical_key, text
+            )
+        except SQLError as error:
+            self.stats.bad_requests += 1
+            raise BadRequest(f"invalid SQL: {error}") from error
+        self._text_keys.put(text, key)
+        return key
 
     async def fingerprint(self, sql: str) -> ServedResponse:
         """Canonical fingerprint only; the /fingerprint answer."""
@@ -214,6 +272,17 @@ class CompileService:
             )
 
         return await self._admitted(_fingerprint())
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+
+    async def compile(
+        self, sql: str, formats: tuple[str, ...]
+    ) -> ServedResponse:
+        """Compile ``sql`` to ``formats``; the /compile answer."""
+        self.stats.count("compile")
+        return await self._admitted(self._compile_coalesced(sql, formats))
 
     async def render(self, sql: str, fmt: str) -> ServedResponse:
         """One rendered format; the /render answer."""
@@ -289,51 +358,8 @@ class CompileService:
         return payload
 
     # ------------------------------------------------------------------ #
-    # admission, coalescing, compilation
+    # coalescing and compilation (admission lives on RequestFrontEnd)
     # ------------------------------------------------------------------ #
-
-    async def _admitted(self, work) -> dict:
-        """Admission control + per-request timeout around ``work``."""
-        work = asyncio.ensure_future(work)
-        if self._draining:
-            work.cancel()
-            self.stats.shed += 1
-            raise ServiceUnavailable("server is draining", retry_after=5.0)
-        if self._pending >= self.config.max_pending:
-            work.cancel()
-            self.stats.shed += 1
-            raise ServiceUnavailable(
-                f"overloaded: {self._pending} requests pending"
-            )
-        self._pending += 1
-        try:
-            return await asyncio.wait_for(work, self.config.request_timeout)
-        except asyncio.TimeoutError:
-            self.stats.timeouts += 1
-            raise ServiceUnavailable(
-                f"request exceeded {self.config.request_timeout:.1f}s budget"
-            ) from None
-        finally:
-            self._pending -= 1
-
-    async def _canonical_key(self, sql: str) -> tuple[str, tuple]:
-        if not isinstance(sql, str) or not sql.strip():
-            self.stats.bad_requests += 1
-            raise BadRequest("request carries no SQL text")
-        text = sql.strip()
-        key = self._text_keys.get(text)
-        if key is not None:
-            return key
-        loop = asyncio.get_running_loop()
-        try:
-            key = await loop.run_in_executor(
-                self._fp_executor, self._compiler.canonical_key, text
-            )
-        except SQLError as error:
-            self.stats.bad_requests += 1
-            raise BadRequest(f"invalid SQL: {error}") from error
-        self._text_keys.put(text, key)
-        return key
 
     async def _compile_coalesced(
         self, sql: str, formats: tuple[str, ...]
@@ -451,10 +477,6 @@ class CompileService:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
-
-    def begin_drain(self) -> None:
-        """Stop admitting work; in-flight requests keep running."""
-        self._draining = True
 
     async def drain(self, timeout: float = 30.0) -> bool:
         """Await completion of admitted work; ``True`` if fully drained."""

@@ -18,6 +18,11 @@ layer by layer:
 * **serve** — an in-process :class:`~repro.serve.CompileService` answers
   the corpus while compile faults fire; the client retries shed (503)
   requests, and every request must end in the fault-free payload.
+* **pool** — a 2-worker :class:`~repro.serve.PoolService` answers the
+  corpus concurrently while one worker is SIGKILLed with requests in
+  flight; the supervisor's sibling failover and restart machinery must
+  deliver *zero* failed client requests and byte-identical bodies, and
+  the kill must actually have landed (``worker_crashes`` asserted > 0).
 
 Faults are seeded, so a failing run is exactly reproducible from its
 config — chaos without flakes.
@@ -26,6 +31,7 @@ config — chaos without flakes.
 from __future__ import annotations
 
 import asyncio
+import json
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,7 +40,7 @@ from ..catalog.builtin import sailors_schema
 from ..faults import FaultPlan, FaultRule, active_plan, suspended_plan
 from ..relational import ExecutionMode, Executor, reset_breakers
 from ..relational.errors import EngineError
-from ..serve import CompileService
+from ..serve import CompileService, PoolConfig, PoolService, ServiceConfig
 from ..serve.service import ServiceUnavailable
 from ..sql.formatter import format_query
 from .datagen import sailors_database
@@ -58,6 +64,8 @@ class ChaosConfig:
     #: Optional :meth:`FaultPlan.from_spec` spec (inline JSON or a path)
     #: replacing the per-leg default rules — ``repro chaos --fault-plan``.
     plan_spec: "str | None" = None
+    #: Worker-pool size of the pool leg (< 2 skips the leg).
+    pool_workers: int = 2
 
 
 #: The default chaos rules, one list per leg.  Probabilities are tuned so
@@ -241,10 +249,115 @@ def _serve_leg(config: ChaosConfig) -> dict:
     return asyncio.run(run())
 
 
+def _pool_leg(config: ChaosConfig) -> dict:
+    """Worker-crash differential: SIGKILL one pool worker mid-load.
+
+    The corpus is fired *concurrently* at a small pool whose workers run
+    a deterministic per-compile stall (so requests are reliably in flight
+    when the kill lands); one worker is SIGKILLed as soon as it has work
+    pending.  The supervisor's sibling failover plus the client's 503
+    retries must end every request in the fault-free body.
+    """
+    corpus = [format_query(query) for query in _corpus(config)]
+
+    async def run() -> dict:
+        baseline_service = CompileService()
+        try:
+            with suspended_plan():
+                baseline, _ = await _serve_round(
+                    baseline_service, corpus, config
+                )
+        finally:
+            baseline_service.close()
+
+        stall_plan = {
+            "seed": config.fault_seed,
+            "rules": [
+                {
+                    "point": "serve.compile",
+                    "fault": "latency",
+                    "latency_s": 0.01,
+                }
+            ],
+        }
+        service = PoolService(
+            config=ServiceConfig(max_pending=4096, request_timeout=60.0),
+            pool_config=PoolConfig(
+                workers=config.pool_workers,
+                worker_fault_plan=stall_plan,
+                min_uptime=0.0,
+                backoff_base=0.01,
+                backoff_cap=0.1,
+            ),
+        )
+        client_retries = 0
+        failed = 0
+        try:
+            await service.start()
+
+            async def one(sql: str) -> dict | None:
+                nonlocal client_retries, failed
+                last: Exception | None = None
+                for attempt in range(config.serve_attempts):
+                    try:
+                        response = await service.compile(sql, config.formats)
+                    except ServiceUnavailable as error:
+                        last = error
+                        await asyncio.sleep(0.05)
+                        continue
+                    if attempt:
+                        client_retries += 1
+                    return json.loads(response.body)
+                failed += 1
+                return {"error": str(last)}
+
+            async def assassin() -> int | None:
+                # Wait until the victim actually has requests in flight —
+                # a kill with nothing pending proves nothing.
+                supervisor = service.supervisor
+                for _ in range(400):
+                    worker = supervisor._slots[0].worker
+                    if worker is not None and worker.pending:
+                        break
+                    await asyncio.sleep(0.005)
+                return supervisor.kill_slot(0)
+
+            tasks = [asyncio.ensure_future(one(sql)) for sql in corpus]
+            killer = asyncio.ensure_future(assassin())
+            faulted = await asyncio.gather(*tasks)
+            killed_pid = await killer
+            stats = service.supervisor.stats
+            return {
+                # Deterministic facts: same seeds → byte-identical.
+                "requests": len(corpus),
+                "workers": config.pool_workers,
+                "identical": list(faulted) == baseline,
+                "failed_requests": failed,
+                "worker_crashes": stats.worker_crashes,
+                # Timing-dependent observations: the SIGKILL is real OS
+                # concurrency, so *how many* requests were in flight on the
+                # victim (failovers, retries) varies run to run.  Keeping
+                # them under one key lets the seed-reproducibility test
+                # compare everything else exactly.
+                "observed": {
+                    "killed_pid": killed_pid,
+                    "client_retries": client_retries,
+                    "worker_restarts": stats.worker_restarts,
+                    "failovers": stats.failovers,
+                },
+            }
+        finally:
+            service.begin_drain()
+            await service.drain(5.0)
+            service.close()
+
+    return asyncio.run(run())
+
+
 def run_chaos(
     config: ChaosConfig | None = None, cache_dir: Path | str | None = None
 ) -> dict:
-    """Run all three legs; ``payload["ok"]`` is the overall verdict."""
+    """Run all four legs; ``payload["ok"]`` is the overall verdict."""
     config = config or ChaosConfig()
     engine = _engine_leg(config)
     if cache_dir is None:
@@ -253,21 +366,32 @@ def run_chaos(
     else:
         cache = _cache_leg(config, Path(cache_dir))
     serve = _serve_leg(config)
+    pool = _pool_leg(config) if config.pool_workers >= 2 else None
     ok = (
         all(leg["identical"] for leg in engine.values())
         and cache["identical"]
         and serve["identical"]
     )
+    if pool is not None:
+        # The kill must have landed (non-vacuous) and cost no request.
+        ok = ok and (
+            pool["identical"]
+            and pool["failed_requests"] == 0
+            and pool["worker_crashes"] > 0
+        )
     # A chaos run where nothing fired proves nothing: require injection.
     fired = (
         sum(leg["fault_fires"] for leg in engine.values())
         + cache["fault_fires"]
         + serve["fault_fires"]
     )
-    return {
+    payload = {
         "ok": ok and fired > 0,
         "fault_fires": fired,
         "engine": engine,
         "cache": cache,
         "serve": serve,
     }
+    if pool is not None:
+        payload["pool"] = pool
+    return payload

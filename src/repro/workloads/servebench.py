@@ -32,14 +32,24 @@ import time
 from dataclasses import dataclass, field
 from urllib.parse import urlparse
 
+from ..faults import FaultPlan, active_plan
 from ..paper_queries import FIG24_VARIANTS
-from ..serve import CompileServer, CompileService, ServiceConfig
+from ..serve import (
+    CompileServer,
+    CompileService,
+    PoolConfig,
+    PoolService,
+    ServiceConfig,
+)
 from ..sql.formatter import format_query
 from .querygen import QueryGenConfig, QueryGenerator
 
 #: Seed offset separating the burst corpus from the cold/warm corpus —
 #: the burst must hit fingerprints the earlier phases never cached.
 _BURST_SEED_OFFSET = 100_000
+#: Seed offsets of the pool leg's corpora (never overlapping the above).
+_POOL_SEED_OFFSET = 200_000
+_POOL_WARMUP_OFFSET = 250_000
 
 
 @dataclass(frozen=True)
@@ -54,6 +64,14 @@ class ServeBenchConfig:
     schema: str = "sailors"
     formats: tuple[str, ...] = ("svg", "dot", "text")
     seed: int = 0
+    #: Pool leg (0 = skip): size of the worker pool whose compile-bound
+    #: throughput is compared against a single process.
+    workers: int = 0
+    #: Distinct queries in the pool leg's timed round.
+    pool_distinct: int = 64
+    #: Deterministic per-compile backend stall (seconds) applied to *both*
+    #: pool-leg servers; see ``_run_pool_leg`` for why the gate needs it.
+    pool_stall_s: float = 0.02
     service: ServiceConfig = field(
         default_factory=lambda: ServiceConfig(
             max_pending=4096, request_timeout=60.0
@@ -62,6 +80,8 @@ class ServeBenchConfig:
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
     index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
     return sorted_values[index]
 
@@ -189,26 +209,30 @@ async def _measure(
     port: int,
     jobs: list[tuple[str, dict]],
     concurrency: int,
-) -> tuple[list[float], float, int]:
+) -> tuple[list[float], float, int, int]:
     """Run ``jobs`` over ``concurrency`` keep-alive connections.
 
     Returns (per-request latencies in seconds, wall-clock seconds, number
-    of 503-retried requests).  A 503 is the server's documented shed
-    signal, so the client honors its ``Retry-After`` with exponential
-    backoff before giving up; any other non-200 fails the benchmark
-    loudly — a load generator that quietly counts errors as throughput
-    measures nothing.  Retried requests bill their full wall-clock
-    (including backoff sleeps) to latency: shed-and-retry *is* the user
-    experience under overload.
+    of 503-retried requests, number of *failed* requests).  A 503 is the
+    server's documented shed signal, so the client honors its
+    ``Retry-After`` with exponential backoff before giving up; a request
+    that still is not 200 after the retry budget is counted as failed —
+    and surfaced in the payload, where chaos runs (worker SIGKILL
+    mid-load) assert the count stays zero.  A load generator that quietly
+    counted errors as throughput would measure nothing, so failed
+    requests never contribute a latency sample.  Retried requests bill
+    their full wall-clock (including backoff sleeps) to latency:
+    shed-and-retry *is* the user experience under overload.
     """
     queue: asyncio.Queue[tuple[str, dict]] = asyncio.Queue()
     for job in jobs:
         queue.put_nowait(job)
     latencies: list[float] = []
     retried = 0
+    failed = 0
 
     async def worker() -> None:
-        nonlocal retried
+        nonlocal retried, failed
         client = _Client(host, port)
         await client.connect()
         try:
@@ -236,20 +260,19 @@ async def _measure(
                     status, raw, headers = await client.request(
                         "POST", path, document
                     )
-                latencies.append(time.perf_counter() - start)
                 if attempts:
                     retried += 1
                 if status != 200:
-                    raise RuntimeError(
-                        f"{path} returned {status}: {raw.decode('utf-8', 'replace')}"
-                    )
+                    failed += 1
+                    continue
+                latencies.append(time.perf_counter() - start)
         finally:
             await client.close()
 
     started = time.perf_counter()
     await asyncio.gather(*(worker() for _ in range(min(concurrency, len(jobs)))))
     elapsed = time.perf_counter() - started
-    return latencies, elapsed, retried
+    return latencies, elapsed, retried, failed
 
 
 async def _get(host: str, port: int, path: str) -> dict:
@@ -265,15 +288,131 @@ async def _get(host: str, port: int, path: str) -> dict:
 
 
 def _phase_summary(
-    latencies: list[float], elapsed: float, retried: int = 0
+    latencies: list[float], elapsed: float, retried: int = 0, failed: int = 0
 ) -> dict:
     ordered = sorted(latencies)
     return {
-        "requests": len(latencies),
+        "requests": len(latencies) + failed,
         "retried": retried,
+        "failed": failed,
         "p50_ms": round(_percentile(ordered, 0.50) * 1000, 3),
+        "p95_ms": round(_percentile(ordered, 0.95) * 1000, 3),
         "p99_ms": round(_percentile(ordered, 0.99) * 1000, 3),
         "rps": round(len(latencies) / elapsed, 1),
+    }
+
+
+def _pool_corpus(config: ServeBenchConfig) -> tuple[list[str], list[str]]:
+    """(timed pool-leg queries, warm-up queries) — distinct, never-seen.
+
+    Every timed query is a first sight for both servers, so each request
+    runs a full compile (plus, in pool mode, one learned-affinity key
+    lookup) — the traffic shape the pool exists for.
+    """
+    from ..catalog.builtin import beers_schema, sailors_schema
+    from ..catalog.chinook import chinook_schema
+
+    schemas = {
+        "sailors": sailors_schema,
+        "beers": beers_schema,
+        "chinook": chinook_schema,
+    }
+    generator = QueryGenerator(
+        schemas[config.schema](),
+        QueryGenConfig(max_depth=6, max_tables_per_block=4),
+    )
+    timed = [
+        format_query(generator.generate(config.seed + _POOL_SEED_OFFSET + index))
+        for index in range(max(1, config.pool_distinct))
+    ]
+    warmup = [
+        format_query(
+            generator.generate(config.seed + _POOL_WARMUP_OFFSET + index)
+        )
+        for index in range(max(2, 2 * config.workers))
+    ]
+    return timed, warmup
+
+
+async def _run_pool_leg(config: ServeBenchConfig) -> dict:
+    """Measure the same distinct-query corpus against a single process and
+    an N-worker pool; both servers are fresh, then warmed with an untimed
+    round of *different* queries (process boot and first-compile jitter
+    must not bill either side).
+
+    Both legs run with the same deterministic per-compile backend stall
+    (``pool_stall_s``, injected at the existing ``serve.compile`` fault
+    point): the single process serializes stalls on its one compile
+    thread, the pool overlaps them across workers.  The stall is what
+    makes ``pool_vs_single_warm_throughput`` a *portable* gate — CI
+    runners span 1–4 vCPUs, so a purely CPU-bound ratio would measure the
+    host's core count, not the serving architecture; with the stall
+    dominating, the ratio measures dispatch overlap and converges on any
+    host.  (On a multi-core host the pool additionally overlaps the CPU
+    halves — the measured ratio is the architecture's floor.)
+    """
+    timed_queries, warmup_queries = _pool_corpus(config)
+    formats = list(config.formats)
+    timed_jobs = [
+        ("/compile", {"sql": sql, "formats": formats}) for sql in timed_queries
+    ]
+    warmup_jobs = [
+        ("/compile", {"sql": sql, "formats": formats}) for sql in warmup_queries
+    ]
+    stall_plan = {
+        "seed": config.seed,
+        "rules": [
+            {
+                "point": "serve.compile",
+                "fault": "latency",
+                "latency_s": config.pool_stall_s,
+            }
+        ],
+    }
+
+    async def one_server(service) -> dict:
+        if isinstance(service, PoolService):
+            await service.start()
+        server = CompileServer(service, host="127.0.0.1", port=0)
+        await server.start()
+        try:
+            await _measure(server.host, server.port, warmup_jobs, config.concurrency)
+            return _phase_summary(
+                *await _measure(
+                    server.host, server.port, timed_jobs, config.concurrency
+                )
+            )
+        finally:
+            await server.stop(drain_timeout=10.0)
+
+    # Single leg: the stall plan lives in this process (the compile thread
+    # sleeps).  Pool leg: the same plan ships to the workers instead; the
+    # front end stays plan-free, so the dispatch fault hook stays off.
+    with active_plan(FaultPlan.from_spec(stall_plan)):
+        single = await one_server(CompileService(config=config.service))
+    pool_service = PoolService(
+        config=config.service,
+        pool_config=PoolConfig(
+            workers=config.workers, worker_fault_plan=stall_plan
+        ),
+    )
+    pool = await one_server(pool_service)
+    pool_stats = pool_service.supervisor.stats
+    return {
+        "pool_workers": config.workers,
+        "pool_distinct": len(timed_queries),
+        "pool_requests": pool["requests"],
+        "pool_single_rps": single["rps"],
+        "pool_rps": pool["rps"],
+        "pool_single_p50_ms": single["p50_ms"],
+        "pool_p50_ms": pool["p50_ms"],
+        "pool_p99_ms": pool["p99_ms"],
+        "pool_vs_single_warm_throughput": round(
+            pool["rps"] / max(single["rps"], 1e-9), 2
+        ),
+        "pool_failed_requests": single["failed"] + pool["failed"],
+        "pool_worker_restarts": pool_stats.worker_restarts,
+        "pool_worker_crashes": pool_stats.worker_crashes,
     }
 
 
@@ -337,9 +476,11 @@ async def run_serve_bench(
             "requests_cold": cold["requests"],
             "requests_warm": warm["requests"],
             "cold_p50_ms": cold["p50_ms"],
+            "cold_p95_ms": cold["p95_ms"],
             "cold_p99_ms": cold["p99_ms"],
             "cold_rps": cold["rps"],
             "warm_p50_ms": warm["p50_ms"],
+            "warm_p95_ms": warm["p95_ms"],
             "warm_p99_ms": warm["p99_ms"],
             "warm_rps": warm["rps"],
             "warm_speedup_p50": round(
@@ -347,6 +488,7 @@ async def run_serve_bench(
             ),
             "burst_requests": burst["requests"],
             "burst_p50_ms": burst["p50_ms"],
+            "burst_p95_ms": burst["p95_ms"],
             "burst_p99_ms": burst["p99_ms"],
             "burst_rps": burst["rps"],
             "burst_unique_compiles": burst_compiles,
@@ -360,12 +502,18 @@ async def run_serve_bench(
             "retried_requests": (
                 cold["retried"] + warm["retried"] + burst["retried"]
             ),
+            "failed_requests": (
+                cold["failed"] + warm["failed"] + burst["failed"]
+            ),
             "server_stats": after,
         }
-        return payload
     finally:
         if server is not None:
             await server.stop(drain_timeout=10.0)
+
+    if config.workers and config.workers > 1 and url is None:
+        payload.update(await _run_pool_leg(config))
+    return payload
 
 
 def serve_bench(config: ServeBenchConfig, url: str | None = None) -> dict:

@@ -81,8 +81,13 @@ def test_run_chaos_end_to_end_verdict(tmp_path):
 def test_chaos_seeds_are_reproducible(tmp_path):
     first = run_chaos(SMALL, cache_dir=tmp_path / "a")
     second = run_chaos(SMALL, cache_dir=tmp_path / "b")
-    # Same seeds → the same faults fire at the same calls: every counter
-    # in the report matches, not just the verdict.
+    # The pool leg's SIGKILL is real OS concurrency: *which* pid died and
+    # how many requests happened to be in flight on it vary run to run.
+    # Those live under pool["observed"] precisely so everything else —
+    # every seeded counter — can be compared exactly.
+    for report in (first, second):
+        if report.get("pool"):
+            report["pool"].pop("observed")
     assert first == second
 
 

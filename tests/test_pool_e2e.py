@@ -1,0 +1,191 @@
+"""End-to-end: ``repro serve --workers 2`` as a real multi-process pool.
+
+Same discipline as ``test_serve_e2e.py`` — one real subprocess tree (front
+end + two workers) shared by the whole module, driven over real sockets and
+real signals.  The chaos here is the production story: ``kill -9`` a worker
+under a live client and the client must never see it; SIGHUP must roll the
+pool without dropping below N−1; SIGTERM must drain and exit 0.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+SIMPLE = "SELECT S.sname FROM Sailor S WHERE S.rating > 7"
+OTHER = "SELECT B.bname FROM Boat B WHERE B.color = 'red'"
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    return env
+
+
+@pytest.fixture(scope="module")
+def server():
+    """``repro serve --workers 2 --port 0``; yields (proc, port)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--workers", "2", "--port", "0"],
+        cwd=REPO,
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert line.startswith("pool: 2/2 workers ready"), line
+        line = proc.stdout.readline()
+        assert line.startswith("serving on http://"), line
+        port = int(line.rsplit(":", 1)[1])
+        yield proc, port
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+        proc.stdout.close()
+
+
+def _request(
+    port: int, method: str, path: str, document: dict | None = None
+) -> tuple[int, dict]:
+    """One request, retrying refused connections with capped backoff."""
+    deadline = time.monotonic() + 10.0
+    backoff = 0.05
+    while True:
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            connection.request(
+                method,
+                path,
+                body=None if document is None else json.dumps(document),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        except ConnectionRefusedError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(backoff)
+            backoff = min(backoff * 2, 0.5)
+        finally:
+            connection.close()
+
+
+def _healthz(port: int) -> dict:
+    status, payload = _request(port, "GET", "/healthz")
+    assert status == 200
+    return payload
+
+
+def _worker_pids(payload: dict) -> list[int]:
+    return [
+        slot["pid"]
+        for slot in payload["slots"]
+        if slot.get("pid") is not None and slot.get("state") == "ready"
+    ]
+
+
+def _wait(predicate, timeout: float = 15.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def test_healthz_reports_pool_mode_and_two_ready_workers(server):
+    _proc, port = server
+    payload = _healthz(port)
+    assert payload["status"] == "ok"
+    assert payload["mode"] == "pool"
+    assert payload["workers"] == 2
+    assert payload["ready_workers"] == 2
+    assert payload["broken_slots"] == []
+    pids = _worker_pids(payload)
+    assert len(pids) == 2 and len(set(pids)) == 2
+
+
+def test_compile_round_trips_through_a_worker(server):
+    _proc, port = server
+    status, payload = _request(
+        port, "POST", "/compile", {"sql": SIMPLE, "formats": ["text", "svg"]}
+    )
+    assert status == 200
+    assert payload["outputs"]["text"]
+    assert payload["outputs"]["svg"].startswith("<svg")
+    # Same query again: served from the owning worker's LRU.
+    status, payload = _request(
+        port, "POST", "/compile", {"sql": SIMPLE, "formats": ["text"]}
+    )
+    assert status == 200
+
+
+def test_sigkilled_worker_is_replaced_and_service_keeps_answering(server):
+    _proc, port = server
+    before = _healthz(port)
+    victim = _worker_pids(before)[0]
+    restarts = before["worker_restarts"]
+    os.kill(victim, signal.SIGKILL)
+
+    def healed() -> bool:
+        payload = _healthz(port)
+        return (
+            payload["worker_restarts"] >= restarts + 1
+            and payload["ready_workers"] == 2
+        )
+
+    assert _wait(healed), _healthz(port)
+    after = _healthz(port)
+    assert victim not in _worker_pids(after)
+    # The pool keeps compiling across the crash window.
+    status, payload = _request(
+        port, "POST", "/compile", {"sql": OTHER, "formats": ["text"]}
+    )
+    assert status == 200 and payload["outputs"]["text"]
+
+
+def test_sighup_rolls_every_worker_without_losing_service(server):
+    proc, port = server
+    before = set(_worker_pids(_healthz(port)))
+    assert len(before) == 2
+    proc.send_signal(signal.SIGHUP)
+
+    def rolled() -> bool:
+        payload = _healthz(port)
+        pids = set(_worker_pids(payload))
+        return len(pids) == 2 and pids.isdisjoint(before)
+
+    assert _wait(rolled), _healthz(port)
+    status, stats = _request(port, "GET", "/stats")
+    assert status == 200
+    # Rolling one slot at a time never drops the pool below N−1 ready.
+    assert stats["pool"]["reloads"] >= 1
+    assert stats["pool"]["reload_min_ready"] >= 1
+    status, body = _request(
+        port, "POST", "/compile", {"sql": SIMPLE, "formats": ["text"]}
+    )
+    assert status == 200 and body["outputs"]["text"]
+
+
+def test_sigterm_drains_the_pool_and_exits_clean(server):
+    # Last test in file order: tears the shared server down.
+    proc, port = server
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=30) == 0
+    output = proc.stdout.read()
+    assert "shutdown clean" in output
